@@ -1,0 +1,169 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation section (see DESIGN.md §4 for the experiment
+// index). Each benchmark prints the reproduced artefact once; the timing
+// measures the full regeneration cost (corpus reuse included).
+//
+//	go test -bench=. -benchmem
+//
+// Heavy tables sample the dev split under -short; run without -short for
+// the full-split numbers recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/llm"
+	"repro/internal/seed"
+	"repro/internal/texttosql"
+)
+
+var (
+	envOnce  sync.Once
+	benchEnv *experiments.Env
+)
+
+func sharedEnv() *experiments.Env {
+	envOnce.Do(func() { benchEnv = experiments.NewEnv(7) })
+	return benchEnv
+}
+
+// printOnce renders the artefact on the first iteration only, so -bench
+// output stays readable while timing remains accurate.
+func printOnce(b *testing.B, i int, artefact string) {
+	b.Helper()
+	if i == 0 {
+		fmt.Println(artefact)
+	}
+}
+
+func devSample(b *testing.B) int {
+	if testing.Short() {
+		return 4
+	}
+	return 1
+}
+
+func BenchmarkFig2EvidenceAudit(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Fig2(env).Render())
+	}
+}
+
+func BenchmarkTable1ErrorSamples(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Table1(env).Render())
+	}
+}
+
+func BenchmarkTable2EvidenceCorrection(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Table2(env).Render())
+	}
+}
+
+func BenchmarkTable3EvidenceCategories(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Table3(env).Render())
+	}
+}
+
+func BenchmarkTable4BIRD(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Table4(env, devSample(b)).Render())
+	}
+}
+
+func BenchmarkTable5Spider(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Table5(env).Render())
+	}
+}
+
+func BenchmarkTable6EvidenceExamples(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Table6(env).Render())
+	}
+}
+
+func BenchmarkTable7Revised(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Table7(env, devSample(b)).Render())
+	}
+}
+
+func BenchmarkFig3PipelineTrace(b *testing.B) {
+	env := sharedEnv()
+	for i := 0; i < b.N; i++ {
+		printOnce(b, i, experiments.Fig3Trace(env))
+	}
+}
+
+// --- Component ablation benchmarks (DESIGN.md design-choice probes) ---
+
+// BenchmarkAblationSeedGeneration measures the per-question cost of the
+// full SEED pipeline, the number the paper's practicality claim rests on.
+func BenchmarkAblationSeedGeneration(b *testing.B) {
+	env := sharedEnv()
+	p := seed.New(seed.ConfigGPT(), env.Client, env.BIRD)
+	dev := env.BIRD.Dev
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := dev[i%len(dev)]
+		if _, err := p.GenerateEvidence(e.DB, e.Question); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationUnitTester isolates the cost of CHESS's candidate
+// voting versus single-candidate generation.
+func BenchmarkAblationUnitTester(b *testing.B) {
+	env := sharedEnv()
+	client := llm.NewSimulator()
+	single := texttosql.NewGenerator(texttosql.Options{
+		DisplayName: "single", Model: "gpt-4o-mini", Candidates: 1,
+	}, client)
+	voted := texttosql.NewGenerator(texttosql.Options{
+		DisplayName: "voted", Model: "gpt-4o-mini", Candidates: 3, UnitTest: true,
+	}, client)
+	dev := env.BIRD.Dev
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := dev[i%len(dev)]
+			if _, err := single.Generate(texttosql.Task{Example: e, DB: env.BIRD.DBs[e.DB]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("voted3", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := dev[i%len(dev)]
+			if _, err := voted.Generate(texttosql.Task{Example: e, DB: env.BIRD.DBs[e.DB]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCorpusBuild measures synthetic corpus generation,
+// including gold-query validation against the SQL engine.
+func BenchmarkAblationCorpusBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := dataset.BuildBIRD(dataset.BIRDOptions{Seed: uint64(7 + i)})
+		if len(c.Dev) == 0 {
+			b.Fatal("empty corpus")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Command benchrun regenerates the paper's tables and figures from the
+// synthetic corpora.
+//
+// Usage:
+//
+//	benchrun -exp table4            # one experiment
+//	benchrun -exp all -sample 4     # everything, sampled dev for speed
+//
+// Experiments: fig2, fig3, table1, table2, table3, table4, table5,
+// table6, table7, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig2, fig3, table1..table7, all)")
+	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
+	sample := flag.Int("sample", 1, "evaluate every n-th dev example (1 = full split)")
+	flag.Parse()
+
+	env := experiments.NewEnv(*seedFlag)
+	run := func(id string) {
+		start := time.Now()
+		switch id {
+		case "fig2":
+			fmt.Println(experiments.Fig2(env).Render())
+		case "fig3":
+			fmt.Println(experiments.Fig3Trace(env))
+		case "table1":
+			fmt.Println(experiments.Table1(env).Render())
+		case "table2":
+			fmt.Println(experiments.Table2(env).Render())
+		case "table3":
+			fmt.Println(experiments.Table3(env).Render())
+		case "table4":
+			fmt.Println(experiments.Table4(env, *sample).Render())
+		case "table5":
+			fmt.Println(experiments.Table5(env).Render())
+		case "table6":
+			fmt.Println(experiments.Table6(env).Render())
+		case "table7":
+			fmt.Println(experiments.Table7(env, *sample).Render())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"fig2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig3"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,113 @@
+// Command evidencediag audits evidence quality at the knowledge-atom
+// level: for each evidence condition it reports what fraction of dev atoms
+// a matching clause resolves, and whether the resolved fragment is
+// execution-correct. It is the tool used to calibrate the reproduction and
+// to debug SEED coverage regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/evidence"
+	"repro/internal/experiments"
+	"repro/internal/seed"
+)
+
+func main() {
+	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
+	flag.Parse()
+
+	env := experiments.NewEnv(*seedFlag)
+	conditions := []struct {
+		name string
+		ev   func(e dataset.Example) string
+	}{
+		{"bird-provided", func(e dataset.Example) string { return e.Evidence }},
+		{"bird-clean", func(e dataset.Example) string { return e.CleanEvidence }},
+		{"seed_gpt", mapFunc(env.BIRDSeedEvidence(seed.VariantGPT))},
+		{"seed_deepseek", mapFunc(env.BIRDSeedEvidence(seed.VariantDeepSeek))},
+		{"seed_revised", mapFunc(env.BIRDRevisedEvidence())},
+	}
+
+	fmt.Printf("%-14s %8s %8s %8s %8s %8s\n", "condition", "atoms", "matched", "correct", "wrong", "joins%")
+	for _, c := range conditions {
+		var atoms, matched, correct, wrong, withJoins, total int
+		perKind := map[dataset.AtomKind][2]int{}
+		for _, e := range env.BIRD.Dev {
+			ev := c.ev(e)
+			total++
+			if evidence.HasJoins(ev) {
+				withJoins++
+			}
+			clauses := evidence.Parse(ev)
+			for _, a := range e.Atoms {
+				if a.Kind == dataset.JoinPath {
+					continue
+				}
+				atoms++
+				cl, ok := evidence.BestMatch(clauses, a.Term, 0.55)
+				if !ok {
+					continue
+				}
+				matched++
+				frag := extractLike(cl, a.Kind)
+				pk := perKind[a.Kind]
+				if frag == a.CorrectFrag || equivalentFrag(frag, a.CorrectFrag) {
+					correct++
+					pk[0]++
+				} else {
+					wrong++
+					pk[1]++
+				}
+				perKind[a.Kind] = pk
+			}
+		}
+		fmt.Printf("%-14s %8d %8d %8d %8d %7.1f%%\n", c.name, atoms, matched, correct, wrong,
+			100*float64(withJoins)/float64(total))
+		for _, k := range []dataset.AtomKind{dataset.ValueMap, dataset.Synonym, dataset.Threshold, dataset.Formula, dataset.ColumnRef} {
+			pk := perKind[k]
+			fmt.Printf("    %-20s correct=%d wrong=%d\n", k, pk[0], pk[1])
+		}
+	}
+}
+
+func mapFunc(m map[string]string) func(e dataset.Example) string {
+	return func(e dataset.Example) string { return m[e.ID] }
+}
+
+// extractLike mirrors the generators' fragment extraction.
+func extractLike(c evidence.Clause, kind dataset.AtomKind) string {
+	switch kind {
+	case dataset.ValueMap, dataset.Synonym:
+		if lit, ok := c.ValueLiteral(); ok {
+			return lit
+		}
+		return ""
+	case dataset.Threshold, dataset.Formula:
+		return c.Body
+	case dataset.ColumnRef:
+		return c.ColumnSide()
+	}
+	return ""
+}
+
+// equivalentFrag treats qualification differences as equal
+// ("laboratory.hct >= 52" vs "hct >= 52").
+func equivalentFrag(got, want string) bool {
+	return got != "" && (contains(want, got) || contains(got, want))
+}
+
+func contains(a, b string) bool {
+	return len(b) > 0 && len(a) >= len(b) && (a == b || suffixAfterDot(a) == b || suffixAfterDot(b) == a)
+}
+
+func suffixAfterDot(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' {
+			return s[i+1:]
+		}
+	}
+	return s
+}

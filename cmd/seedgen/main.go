@@ -1,0 +1,81 @@
+// Command seedgen runs the SEED pipeline over a corpus split and prints
+// the generated evidence, one line per question.
+//
+// Usage:
+//
+//	seedgen -corpus bird -variant gpt -limit 10
+//	seedgen -corpus spider -variant deepseek
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/seed"
+)
+
+func main() {
+	corpusName := flag.String("corpus", "bird", "corpus: bird or spider")
+	variant := flag.String("variant", "gpt", "SEED variant: gpt or deepseek")
+	limit := flag.Int("limit", 20, "maximum questions to process (0 = all)")
+	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
+	revise := flag.Bool("revise", false, "also print the SEED_revised form")
+	flag.Parse()
+
+	var corpus *dataset.Corpus
+	switch *corpusName {
+	case "bird":
+		corpus = dataset.BuildBIRD(dataset.BIRDOptions{Seed: *seedFlag})
+	case "spider":
+		corpus = dataset.BuildSpider(*seedFlag)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown corpus %q\n", *corpusName)
+		os.Exit(2)
+	}
+
+	cfg := seed.ConfigGPT()
+	if *variant == "deepseek" {
+		cfg = seed.ConfigDeepSeek()
+	}
+	client := llm.NewSimulator()
+	p := seed.New(cfg, client, corpus)
+
+	if *corpusName == "spider" {
+		for _, db := range corpus.DBs {
+			if err := p.DescribeDatabase(db); err != nil {
+				fmt.Fprintf(os.Stderr, "describing %s: %v\n", db.Name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Println("-- generated description files for all spider databases")
+	}
+
+	n := 0
+	for _, e := range corpus.Dev {
+		if *limit > 0 && n >= *limit {
+			break
+		}
+		n++
+		ev, err := p.GenerateEvidence(e.DB, e.Question)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			continue
+		}
+		fmt.Printf("[%s] %s\n  evidence: %s\n", e.ID, e.Question, ev)
+		if *revise {
+			rev, err := p.Revise(ev)
+			if err == nil {
+				fmt.Printf("  revised:  %s\n", rev)
+			}
+		}
+	}
+	ledger := client.LedgerSnapshot()
+	fmt.Printf("\n-- %d questions, %d simulated LLM calls\n", n, ledger.TotalCalls())
+	for model, u := range ledger.PerModel {
+		fmt.Printf("--   %s: %d calls, %d prompt tokens, %d completion tokens\n",
+			model, u.Calls, u.PromptTokens, u.CompletionTokens)
+	}
+}

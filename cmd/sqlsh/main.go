@@ -1,0 +1,100 @@
+// Command sqlsh is an interactive SQL shell over a synthetic corpus
+// database, backed by the reproduction's own SQL engine.
+//
+// Usage:
+//
+//	sqlsh -db financial
+//	> SELECT COUNT(*) FROM client WHERE gender = 'F';
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/schema"
+)
+
+func main() {
+	dbName := flag.String("db", "financial", "database name within the corpus")
+	corpusName := flag.String("corpus", "bird", "corpus: bird or spider")
+	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
+	flag.Parse()
+
+	var corpus *dataset.Corpus
+	if *corpusName == "spider" {
+		corpus = dataset.BuildSpider(*seedFlag)
+	} else {
+		corpus = dataset.BuildBIRD(dataset.BIRDOptions{Seed: *seedFlag})
+	}
+	db, ok := corpus.DB(*dbName)
+	if !ok {
+		var names []string
+		for k := range corpus.DBs {
+			names = append(names, k)
+		}
+		fmt.Fprintf(os.Stderr, "no database %q; available: %v\n", *dbName, names)
+		os.Exit(2)
+	}
+	fmt.Printf("connected to %s (%d tables); end statements with ';', .schema prints DDL, .quit exits\n",
+		db.Name, len(db.Engine.Tables()))
+
+	scanner := bufio.NewScanner(os.Stdin)
+	var buf strings.Builder
+	fmt.Print("> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch strings.TrimSpace(line) {
+		case ".quit", ".exit":
+			return
+		case ".schema":
+			fmt.Println(db.DDL())
+			fmt.Print("> ")
+			continue
+		case ".tables":
+			fmt.Println(strings.Join(db.Engine.TableNames(), " "))
+			fmt.Print("> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			fmt.Print("... ")
+			continue
+		}
+		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+		buf.Reset()
+		if sql != "" {
+			run(db, sql)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func run(db *schema.DB, sql string) {
+	res, err := db.Engine.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Rows == nil {
+		fmt.Printf("ok (%d rows affected, cost %d)\n", res.RowsAffected, res.Cost)
+		return
+	}
+	fmt.Println(strings.Join(res.Rows.Columns, " | "))
+	for _, row := range res.Rows.Data {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			if v.IsNull() {
+				parts[i] = "NULL"
+			} else {
+				parts[i] = v.AsText()
+			}
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	fmt.Printf("(%d rows, cost %d)\n", len(res.Rows.Data), res.Cost)
+}

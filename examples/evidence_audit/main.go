@@ -1,0 +1,59 @@
+// Evidence audit: reproduce the paper's Figure 2 analysis — survey the
+// dev split's human-style evidence for missing and erroneous entries, then
+// show how correcting the erroneous pairs lifts a fine-tuned model
+// (Table II in miniature).
+//
+//	go run ./examples/evidence_audit
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/texttosql"
+)
+
+func main() {
+	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: 7})
+
+	audit := dataset.AuditDefects(corpus.Dev)
+	total := len(corpus.Dev)
+	fmt.Printf("dev pairs: %d\n", total)
+	fmt.Printf("missing evidence:   %d (%.2f%%)\n", audit[dataset.DefectMissing],
+		100*float64(audit[dataset.DefectMissing])/float64(total))
+	var erroneous []dataset.Example
+	for _, e := range corpus.Dev {
+		switch e.Defect {
+		case dataset.DefectNone, dataset.DefectMissing:
+		default:
+			erroneous = append(erroneous, e)
+		}
+	}
+	fmt.Printf("erroneous evidence: %d (%.2f%%)\n", len(erroneous),
+		100*float64(len(erroneous))/float64(total))
+	for _, dt := range dataset.ErroneousTypes() {
+		if audit[dt] > 0 {
+			fmt.Printf("  %-28s %d\n", dt.String(), audit[dt])
+		}
+	}
+
+	// Show one defective pair next to its corrected form.
+	for _, e := range erroneous {
+		fmt.Printf("\nexample (%s):\n  Q: %s\n  defective: %s\n  corrected: %s\n",
+			e.Defect, e.Question, e.Evidence, e.CleanEvidence)
+		break
+	}
+
+	// Measure the damage: CodeS on the erroneous pairs, before and after
+	// correction.
+	client := llm.NewSimulator()
+	runner := eval.NewRunner(corpus)
+	gen := texttosql.NewCodeS(client, 15)
+	bad := runner.Evaluate(gen, erroneous, eval.ProvidedEvidence)
+	good := runner.Evaluate(gen, erroneous, eval.CleanEvidenceOf)
+	fmt.Printf("\n%s on the %d erroneous pairs:\n", gen.Name(), len(erroneous))
+	fmt.Printf("  defective evidence: EX %.2f%%\n", bad.EX)
+	fmt.Printf("  corrected evidence: EX %.2f%% (%+.2f)\n", good.EX, good.EX-bad.EX)
+}

@@ -1,0 +1,119 @@
+// Package bm25 implements Okapi BM25 ranked retrieval over small document
+// collections. The CodeS baseline (paper §IV-C3) uses a BM25 index over
+// database values and description text to ground its SQL generation; this
+// package is that index.
+package bm25
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/textutil"
+)
+
+// Standard Okapi BM25 parameters.
+const (
+	k1 = 1.5
+	b  = 0.75
+)
+
+// Index is a BM25 inverted index. Build it with New and query with TopK.
+type Index struct {
+	docs     []string
+	tokens   [][]string
+	df       map[string]int
+	avgLen   float64
+	totalDoc int
+}
+
+// New builds an index over docs. Documents are tokenised and stemmed with
+// the textutil pipeline.
+func New(docs []string) *Index {
+	idx := &Index{
+		docs: docs,
+		df:   make(map[string]int),
+	}
+	var totalLen int
+	for _, d := range docs {
+		toks := stemAll(textutil.Tokenize(d))
+		idx.tokens = append(idx.tokens, toks)
+		totalLen += len(toks)
+		seen := make(map[string]bool)
+		for _, t := range toks {
+			if !seen[t] {
+				seen[t] = true
+				idx.df[t]++
+			}
+		}
+	}
+	idx.totalDoc = len(docs)
+	if idx.totalDoc > 0 {
+		idx.avgLen = float64(totalLen) / float64(idx.totalDoc)
+	}
+	return idx
+}
+
+// Len returns the number of indexed documents.
+func (idx *Index) Len() int { return idx.totalDoc }
+
+// Doc returns document i.
+func (idx *Index) Doc(i int) string { return idx.docs[i] }
+
+// Score computes the BM25 score of query against document i.
+func (idx *Index) Score(query string, i int) float64 {
+	qToks := stemAll(textutil.Tokenize(query))
+	tf := make(map[string]int)
+	for _, t := range idx.tokens[i] {
+		tf[t]++
+	}
+	dl := float64(len(idx.tokens[i]))
+	var score float64
+	for _, q := range qToks {
+		f := float64(tf[q])
+		if f == 0 {
+			continue
+		}
+		df := float64(idx.df[q])
+		idf := math.Log(1 + (float64(idx.totalDoc)-df+0.5)/(df+0.5))
+		denom := f + k1*(1-b+b*dl/math.Max(idx.avgLen, 1e-9))
+		score += idf * f * (k1 + 1) / denom
+	}
+	return score
+}
+
+// Result is one ranked retrieval hit.
+type Result struct {
+	Index int
+	Score float64
+}
+
+// TopK returns the k highest-scoring documents for query, highest first.
+// Zero-score documents are omitted; ties break by document index for
+// determinism.
+func (idx *Index) TopK(query string, k int) []Result {
+	var results []Result
+	for i := range idx.docs {
+		s := idx.Score(query, i)
+		if s > 0 {
+			results = append(results, Result{Index: i, Score: s})
+		}
+	}
+	sort.Slice(results, func(a, c int) bool {
+		if results[a].Score != results[c].Score {
+			return results[a].Score > results[c].Score
+		}
+		return results[a].Index < results[c].Index
+	})
+	if k >= 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results
+}
+
+func stemAll(toks []string) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = textutil.Stem(t)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package bm25
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+var corpus = []string{
+	"POPLATEK TYDNE weekly issuance",
+	"POPLATEK MESICNE monthly issuance",
+	"POPLATEK PO OBRATU issuance after transaction",
+	"Alameda county school district",
+	"magnet school program",
+}
+
+func TestTopKRanksRelevantFirst(t *testing.T) {
+	idx := New(corpus)
+	res := idx.TopK("weekly issuance", 3)
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	if res[0].Index != 0 {
+		t.Errorf("weekly doc should rank first, got %d", res[0].Index)
+	}
+}
+
+func TestTopKOmitsZeroScores(t *testing.T) {
+	idx := New(corpus)
+	res := idx.TopK("zzzz qqqq", 5)
+	if len(res) != 0 {
+		t.Errorf("nonsense query should match nothing, got %v", res)
+	}
+}
+
+func TestTopKRespectsK(t *testing.T) {
+	idx := New(corpus)
+	res := idx.TopK("issuance", 2)
+	if len(res) > 2 {
+		t.Errorf("k=2 returned %d results", len(res))
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	idx := New(nil)
+	if idx.Len() != 0 {
+		t.Error("empty index length")
+	}
+	if res := idx.TopK("anything", 3); len(res) != 0 {
+		t.Errorf("empty index returned %v", res)
+	}
+}
+
+func TestScoreMonotonicInTermMatches(t *testing.T) {
+	idx := New(corpus)
+	one := idx.Score("weekly", 0)
+	two := idx.Score("weekly issuance", 0)
+	if two <= one {
+		t.Errorf("adding a matching term should not lower the score: %v -> %v", one, two)
+	}
+}
+
+func TestStemmedMatching(t *testing.T) {
+	idx := New([]string{"the school has many students"})
+	res := idx.TopK("schools student", 1)
+	if len(res) != 1 {
+		t.Fatalf("stemmed query should match: %v", res)
+	}
+}
+
+// Property: scores are non-negative and TopK is sorted descending.
+func TestScoreProperties(t *testing.T) {
+	idx := New(corpus)
+	f := func(q string) bool {
+		res := idx.TopK(q, -1)
+		prev := -1.0
+		for i, r := range res {
+			if r.Score < 0 {
+				return false
+			}
+			if i > 0 && r.Score > prev {
+				return false
+			}
+			prev = r.Score
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

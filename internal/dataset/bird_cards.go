@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildCardGames constructs the synthetic counterpart of BIRD's
+// `card_games` database. Its legalities.status column carries capitalised
+// values ('Legal', 'Restricted', 'Banned') — the source of the paper's
+// Table I case-sensitivity example ("restricted refers to
+// status = 'Restricted'") — and isTextless is a 0/1 flag read inversely
+// ("have text boxes refers to isTextless = 0").
+func buildCardGames(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("card_games", seed)
+
+	b.exec(`CREATE TABLE cards (
+		id INTEGER PRIMARY KEY,
+		name TEXT,
+		manaCost INTEGER,
+		isTextless INTEGER,
+		power INTEGER,
+		types TEXT,
+		rarity TEXT
+	)`)
+	b.exec(`CREATE TABLE legalities (
+		id INTEGER PRIMARY KEY,
+		card_id INTEGER,
+		format TEXT,
+		status TEXT,
+		FOREIGN KEY (card_id) REFERENCES cards(id)
+	)`)
+	b.exec(`CREATE TABLE sets (
+		id INTEGER PRIMARY KEY,
+		code TEXT,
+		name TEXT,
+		releaseDate TEXT,
+		totalSetSize INTEGER
+	)`)
+
+	types := []string{"Creature", "Instant", "Sorcery", "Artifact", "Enchantment"}
+	rarities := []string{"common", "uncommon", "rare", "mythic"}
+	for i := 1; i <= 160; i++ {
+		textless := 0
+		if b.rng.Chance(0.15) {
+			textless = 1
+		}
+		b.execf("INSERT INTO cards VALUES (%d, 'Card %03d', %d, %d, %d, '%s', '%s')",
+			i, i, b.rng.Intn(10), textless, b.rng.Intn(12),
+			types[b.rng.Intn(len(types))], rarities[b.rng.Intn(len(rarities))])
+	}
+	formats := []string{"standard", "modern", "legacy", "vintage"}
+	statuses := []string{"Legal", "Restricted", "Banned"}
+	lid := 1
+	for card := 1; card <= 160; card++ {
+		for _, f := range formats {
+			if !b.rng.Chance(0.6) {
+				continue
+			}
+			status := statuses[0]
+			r := b.rng.Float64()
+			if r > 0.85 {
+				status = statuses[2]
+			} else if r > 0.7 {
+				status = statuses[1]
+			}
+			b.execf("INSERT INTO legalities VALUES (%d, %d, '%s', '%s')", lid, card, f, status)
+			lid++
+		}
+	}
+	for i := 1; i <= 12; i++ {
+		b.execf("INSERT INTO sets VALUES (%d, 'S%02d', 'Set %02d', '%04d-%02d-01', %d)",
+			i, i, i, 2008+i, 1+b.rng.Intn(12), 100+b.rng.Intn(250))
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "cards", Description: "trading cards and their printed attributes",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique card identifier"},
+			{Column: "name", FullName: "name", Description: "card name"},
+			{Column: "manaCost", FullName: "mana cost", Description: "converted mana cost"},
+			{Column: "isTextless", FullName: "is textless", Description: "whether the card has no text box",
+				ValueMap: map[string]string{"1": "textless card", "0": "card with a text box"}},
+			{Column: "power", FullName: "power", Description: "creature power"},
+			{Column: "types", FullName: "types", Description: "card type"},
+			{Column: "rarity", FullName: "rarity", Description: "card rarity, lower-case (common, uncommon, rare, mythic)"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "legalities", Description: "per-format play legality of cards",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique row identifier"},
+			{Column: "card_id", FullName: "card id", Description: "card the ruling applies to"},
+			{Column: "format", FullName: "format", Description: "play format, lower-case"},
+			{Column: "status", FullName: "status", Description: "legality status, capitalised",
+				ValueMap: map[string]string{"Legal": "legal to play", "Restricted": "restricted to one copy", "Banned": "banned from play"}},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "sets", Description: "card set releases",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique set identifier"},
+			{Column: "code", FullName: "code", Description: "set code"},
+			{Column: "name", FullName: "name", Description: "set name"},
+			{Column: "releaseDate", FullName: "release date", Description: "release date in YYYY-MM-DD format"},
+			{Column: "totalSetSize", FullName: "total set size", Description: "number of cards in the set"},
+		},
+	})
+
+	// --- Question templates ---
+
+	// The Table I case-sensitivity flagship: restricted cards with text
+	// boxes.
+	for _, s := range []struct{ term, value string }{
+		{"restricted", "Restricted"}, {"banned", "Banned"}, {"legal", "Legal"},
+	} {
+		b.add(
+			fmt.Sprintf("How many cards of legalities whose status is %s have text boxes?", s.term),
+			"SELECT COUNT(*) FROM cards JOIN legalities ON {{2}} WHERE legalities.status = {{0}} AND cards.isTextless = {{1}}",
+			synonymAtom(s.term, "legalities", "status", s.value, s.term),
+			textBoxAtom(),
+			joinAtom("legalities", "card_id", "cards", "id"),
+		)
+		for _, f := range formats {
+			b.add(
+				fmt.Sprintf("How many cards are %s in the %s format?", s.term, f),
+				"SELECT COUNT(*) FROM legalities WHERE format = '"+f+"' AND status = {{0}}",
+				synonymAtom(s.term, "legalities", "status", s.value, s.term),
+			)
+		}
+	}
+
+	// Rarity + type combinations, no coded knowledge (values are
+	// lower-case and literal).
+	for _, r := range rarities {
+		b.add(
+			fmt.Sprintf("How many %s cards are there?", r),
+			"SELECT COUNT(*) FROM cards WHERE rarity = '"+r+"'",
+		)
+	}
+	for _, ty := range types[:3] {
+		for _, p := range []int{4, 6, 8} {
+			b.add(
+				fmt.Sprintf("List the names of %s cards with power greater than %d.", lowerFirst(ty), p),
+				fmt.Sprintf("SELECT name FROM cards WHERE types = {{0}} AND power > %d ORDER BY name", p),
+				synonymAtom(lowerFirst(ty)+" cards", "cards", "types", ty, lowerFirst(ty)),
+			)
+		}
+	}
+
+	// Textless flag read both ways.
+	b.add(
+		"How many textless cards are there?",
+		"SELECT COUNT(*) FROM cards WHERE isTextless = {{0}}",
+		flagAtom("textless cards", "cards", "isTextless"),
+	)
+	b.add(
+		"What is the average mana cost of cards that have text boxes?",
+		"SELECT AVG(manaCost) FROM cards WHERE isTextless = {{0}}",
+		textBoxAtom(),
+	)
+
+	// Release-date questions over sets (date knowledge).
+	for _, y := range []int{2010, 2012, 2014, 2016} {
+		b.add(
+			fmt.Sprintf("How many sets were released after %d?", y),
+			fmt.Sprintf("SELECT COUNT(*) FROM sets WHERE {{0}} > '%d'", y),
+			formulaAtom("released in the year", "STRFTIME('%Y', releaseDate)", "releaseDate"),
+		)
+	}
+	b.add(
+		"Which set has the largest total set size?",
+		"SELECT name FROM sets ORDER BY totalSetSize DESC LIMIT 1",
+	)
+	for _, n := range []int{150, 200, 250} {
+		b.add(
+			fmt.Sprintf("List the set codes of sets with more than %d cards.", n),
+			fmt.Sprintf("SELECT code FROM sets WHERE totalSetSize > %d ORDER BY code", n),
+		)
+	}
+
+	train, dev := b.split()
+	return b.db, train, dev
+}
+
+// textBoxAtom is the paper's inverse-flag example: "have text boxes refers
+// to isTextless = 0".
+func textBoxAtom() Atom {
+	return Atom{
+		Kind:         ValueMap,
+		Term:         "have text boxes",
+		Clause:       "have text boxes refers to isTextless = 0",
+		CorrectFrag:  "0",
+		WrongFrag:    "1",
+		Guess:        0.25,
+		Table:        "cards",
+		Column:       "isTextless",
+		Value:        "0",
+		DocDerivable: true,
+	}
+}

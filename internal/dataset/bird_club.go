@@ -1,0 +1,236 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildStudentClub constructs the synthetic counterpart of BIRD's
+// `student_club` database: member positions with capitalised titles,
+// event types, and budget categories.
+func buildStudentClub(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("student_club", seed)
+
+	b.exec(`CREATE TABLE major (
+		major_id INTEGER PRIMARY KEY,
+		major_name TEXT,
+		department TEXT,
+		college TEXT
+	)`)
+	b.exec(`CREATE TABLE member (
+		member_id INTEGER PRIMARY KEY,
+		first_name TEXT,
+		last_name TEXT,
+		position TEXT,
+		t_shirt_size TEXT,
+		link_to_major INTEGER,
+		FOREIGN KEY (link_to_major) REFERENCES major(major_id)
+	)`)
+	b.exec(`CREATE TABLE event (
+		event_id INTEGER PRIMARY KEY,
+		event_name TEXT,
+		type TEXT,
+		event_date TEXT,
+		location TEXT,
+		status TEXT
+	)`)
+	b.exec(`CREATE TABLE attendance (
+		link_to_event INTEGER,
+		link_to_member INTEGER,
+		FOREIGN KEY (link_to_event) REFERENCES event(event_id),
+		FOREIGN KEY (link_to_member) REFERENCES member(member_id)
+	)`)
+	b.exec(`CREATE TABLE budget (
+		budget_id INTEGER PRIMARY KEY,
+		category TEXT,
+		spent REAL,
+		amount REAL,
+		link_to_event INTEGER,
+		FOREIGN KEY (link_to_event) REFERENCES event(event_id)
+	)`)
+
+	majors := []struct{ name, dept, college string }{
+		{"Computer Science", "Engineering", "College of Engineering"},
+		{"Business", "Management", "College of Business"},
+		{"Biology", "Life Sciences", "College of Science"},
+		{"Physics", "Physical Sciences", "College of Science"},
+		{"English", "Humanities", "College of Arts"},
+	}
+	for i, m := range majors {
+		b.execf("INSERT INTO major VALUES (%d, '%s', '%s', '%s')", i+1, m.name, m.dept, m.college)
+	}
+	positions := []string{"Member", "President", "Vice President", "Treasurer", "Secretary"}
+	sizes := []string{"Small", "Medium", "Large", "X-Large"}
+	firsts := []string{"Alice", "Ben", "Chloe", "David", "Emma", "Frank", "Grace", "Henry"}
+	lasts := []string{"Lopez", "Nguyen", "Smith", "Patel", "Kim", "Brown", "Garcia", "Jones"}
+	for i := 1; i <= 110; i++ {
+		pos := positions[0]
+		if i <= 8 {
+			pos = positions[1+b.rng.Intn(4)]
+		}
+		b.execf("INSERT INTO member VALUES (%d, '%s', '%s', '%s', '%s', %d)",
+			i, firsts[b.rng.Intn(len(firsts))], lasts[b.rng.Intn(len(lasts))],
+			pos, sizes[b.rng.Intn(4)], 1+b.rng.Intn(len(majors)))
+	}
+	eventTypes := []string{"Meeting", "Social", "Fundraiser", "Guest Speaker", "Community Service"}
+	statuses := []string{"Open", "Closed", "Planning"}
+	for e := 1; e <= 50; e++ {
+		b.execf("INSERT INTO event VALUES (%d, 'Event %02d', '%s', '%04d-%02d-%02d', 'Hall %d', '%s')",
+			e, e, eventTypes[b.rng.Intn(len(eventTypes))],
+			2019+b.rng.Intn(2), 1+b.rng.Intn(12), 1+b.rng.Intn(28),
+			1+b.rng.Intn(5), statuses[b.rng.Intn(3)])
+	}
+	for e := 1; e <= 50; e++ {
+		n := 3 + b.rng.Intn(15)
+		for j := 0; j < n; j++ {
+			b.execf("INSERT INTO attendance VALUES (%d, %d)", e, 1+b.rng.Intn(110))
+		}
+	}
+	categories := []string{"Food", "Advertisement", "Speaker Gifts", "Club T-Shirts", "Parking"}
+	for bg := 1; bg <= 70; bg++ {
+		amount := 50 + b.rng.Float64()*450
+		b.execf("INSERT INTO budget VALUES (%d, '%s', %0.2f, %0.2f, %d)",
+			bg, categories[b.rng.Intn(len(categories))],
+			amount*b.rng.Float64(), amount, 1+b.rng.Intn(50))
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "member", Description: "club members",
+		Columns: []schema.ColumnDoc{
+			{Column: "member_id", FullName: "member id", Description: "unique member identifier"},
+			{Column: "first_name", FullName: "first name", Description: "member first name"},
+			{Column: "last_name", FullName: "last name", Description: "member last name"},
+			{Column: "position", FullName: "position", Description: "club position, capitalised",
+				ValueMap: map[string]string{
+					"Member": "regular member", "President": "club president",
+					"Vice President": "vice president", "Treasurer": "treasurer",
+					"Secretary": "secretary",
+				}},
+			{Column: "t_shirt_size", FullName: "t-shirt size", Description: "capitalised size name"},
+			{Column: "link_to_major", FullName: "major id", Description: "major, id into the major table"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "major", Description: "university majors",
+		Columns: []schema.ColumnDoc{
+			{Column: "major_id", FullName: "major id", Description: "unique major identifier"},
+			{Column: "major_name", FullName: "major name", Description: "name of the major"},
+			{Column: "department", FullName: "department", Description: "owning department"},
+			{Column: "college", FullName: "college", Description: "owning college"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "event", Description: "club events",
+		Columns: []schema.ColumnDoc{
+			{Column: "event_id", FullName: "event id", Description: "unique event identifier"},
+			{Column: "event_name", FullName: "event name", Description: "name of the event"},
+			{Column: "type", FullName: "type", Description: "event category, capitalised"},
+			{Column: "event_date", FullName: "event date", Description: "date in YYYY-MM-DD format"},
+			{Column: "location", FullName: "location", Description: "venue"},
+			{Column: "status", FullName: "status", Description: "event status, capitalised"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "attendance", Description: "event attendance links",
+		Columns: []schema.ColumnDoc{
+			{Column: "link_to_event", FullName: "event id", Description: "attended event"},
+			{Column: "link_to_member", FullName: "member id", Description: "attending member"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "budget", Description: "per-event budget lines",
+		Columns: []schema.ColumnDoc{
+			{Column: "budget_id", FullName: "budget id", Description: "unique budget-line identifier"},
+			{Column: "category", FullName: "category", Description: "spending category, capitalised"},
+			{Column: "spent", FullName: "spent", Description: "amount spent so far"},
+			{Column: "amount", FullName: "amount", Description: "budgeted amount",
+				Range: "remaining budget = amount - spent"},
+			{Column: "link_to_event", FullName: "event id", Description: "event the line belongs to"},
+		},
+	})
+
+	// --- Question templates ---
+
+	for _, p := range []struct{ term, value, naive string }{
+		{"the president", "President", "president"},
+		{"the vice president", "Vice President", "vice president"},
+		{"the treasurer", "Treasurer", "treasurer"},
+		{"the secretary", "Secretary", "secretary"},
+	} {
+		b.add(
+			fmt.Sprintf("What is the last name of %s of the club?", p.term),
+			"SELECT last_name FROM member WHERE position = {{0}} ORDER BY member_id",
+			synonymAtom(p.term, "member", "position", p.value, p.naive),
+		)
+		b.add(
+			fmt.Sprintf("Which major does %s study? Give the major name.", p.term),
+			"SELECT major.major_name FROM member JOIN major ON {{1}} WHERE member.position = {{0}} ORDER BY member.member_id",
+			synonymAtom(p.term, "member", "position", p.value, p.naive),
+			joinAtom("member", "link_to_major", "major", "major_id"),
+		)
+	}
+
+	for _, et := range []struct{ term, value string }{
+		{"guest speaker events", "Guest Speaker"},
+		{"community service events", "Community Service"},
+		{"fundraisers", "Fundraiser"},
+		{"social events", "Social"},
+	} {
+		b.add(
+			fmt.Sprintf("How many %s has the club held?", et.term),
+			"SELECT COUNT(*) FROM event WHERE type = {{0}}",
+			synonymAtom(et.term, "event", "type", et.value, firstWord(et.term)),
+		)
+		b.add(
+			fmt.Sprintf("How many members attended %s in total?", et.term),
+			"SELECT COUNT(*) FROM attendance JOIN event ON {{1}} WHERE event.type = {{0}}",
+			synonymAtom(et.term, "event", "type", et.value, firstWord(et.term)),
+			joinAtom("attendance", "link_to_event", "event", "event_id"),
+		)
+	}
+
+	// Remaining-budget formula.
+	for _, n := range []int{50, 100, 150} {
+		b.add(
+			fmt.Sprintf("How many budget lines have more than %d remaining?", n),
+			fmt.Sprintf("SELECT COUNT(*) FROM budget WHERE {{0}} > %d", n),
+			formulaAtom("remaining budget", "amount - spent", "amount"),
+		)
+	}
+
+	// Category spend aggregation.
+	for _, c := range categories {
+		b.add(
+			fmt.Sprintf("What is the total amount budgeted for %s?", c),
+			"SELECT SUM(amount) FROM budget WHERE {{0}} = '"+c+"'",
+			columnAtom(c, "budget", "category", "link_to_event"),
+		)
+	}
+
+	// Majors by college: plain joins.
+	for _, m := range majors {
+		b.add(
+			fmt.Sprintf("How many members study %s?", m.name),
+			"SELECT COUNT(*) FROM member JOIN major ON {{1}} WHERE major.major_name = {{0}}",
+			synonymAtom(m.name, "major", "major_name", m.name, firstWord(m.name)),
+			joinAtom("member", "link_to_major", "major", "major_id"),
+		)
+	}
+
+	// Structural no-knowledge questions.
+	b.add(
+		"Which event had the highest attendance?",
+		"SELECT event.event_name FROM event JOIN attendance ON {{0}} GROUP BY event.event_name ORDER BY COUNT(*) DESC, event.event_name LIMIT 1",
+		joinAtom("attendance", "link_to_event", "event", "event_id"),
+	)
+	for _, sz := range sizes {
+		b.add(
+			fmt.Sprintf("How many members wear a size %s t-shirt?", sz),
+			"SELECT COUNT(*) FROM member WHERE t_shirt_size = '"+sz+"'",
+		)
+	}
+
+	train, dev := b.split()
+	return b.db, train, dev
+}

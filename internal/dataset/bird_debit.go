@@ -1,0 +1,200 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildDebitCard constructs the synthetic counterpart of BIRD's
+// `debit_card_specializing` database: customer segments stored as cryptic
+// codes (SME/LAM/KAM), currencies, and gas-station transactions.
+func buildDebitCard(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("debit_card_specializing", seed)
+
+	b.exec(`CREATE TABLE customers (
+		CustomerID INTEGER PRIMARY KEY,
+		Segment TEXT,
+		Currency TEXT
+	)`)
+	b.exec(`CREATE TABLE gasstations (
+		GasStationID INTEGER PRIMARY KEY,
+		ChainID INTEGER,
+		Country TEXT,
+		Segment TEXT
+	)`)
+	b.exec(`CREATE TABLE products (
+		ProductID INTEGER PRIMARY KEY,
+		Description TEXT
+	)`)
+	b.exec(`CREATE TABLE transactions_1k (
+		TransactionID INTEGER PRIMARY KEY,
+		CustomerID INTEGER,
+		GasStationID INTEGER,
+		ProductID INTEGER,
+		TxDate TEXT,
+		Amount INTEGER,
+		Price REAL,
+		FOREIGN KEY (CustomerID) REFERENCES customers(CustomerID),
+		FOREIGN KEY (GasStationID) REFERENCES gasstations(GasStationID),
+		FOREIGN KEY (ProductID) REFERENCES products(ProductID)
+	)`)
+
+	segments := []string{"SME", "LAM", "KAM"}
+	currencies := []string{"CZK", "EUR"}
+	for c := 1; c <= 100; c++ {
+		b.execf("INSERT INTO customers VALUES (%d, '%s', '%s')",
+			c, segments[b.rng.Intn(3)], currencies[b.rng.Intn(2)])
+	}
+	countries := []string{"CZE", "SVK", "AUT"}
+	stationSegs := []string{"Value for money", "Premium", "Other"}
+	for g := 1; g <= 40; g++ {
+		b.execf("INSERT INTO gasstations VALUES (%d, %d, '%s', '%s')",
+			g, 1+b.rng.Intn(8), countries[b.rng.Intn(3)], stationSegs[b.rng.Intn(3)])
+	}
+	prods := []string{"Unleaded 95", "Diesel", "Premium petrol", "LPG", "Car wash", "Motor oil"}
+	for p, d := range prods {
+		b.execf("INSERT INTO products VALUES (%d, '%s')", p+1, d)
+	}
+	for t := 1; t <= 300; t++ {
+		b.execf("INSERT INTO transactions_1k VALUES (%d, %d, %d, %d, '%04d-%02d-%02d', %d, %0.2f)",
+			t, 1+b.rng.Intn(100), 1+b.rng.Intn(40), 1+b.rng.Intn(len(prods)),
+			2012+b.rng.Intn(2), 1+b.rng.Intn(12), 1+b.rng.Intn(28),
+			1+b.rng.Intn(60), 10+b.rng.Float64()*40)
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "customers", Description: "debit card customers",
+		Columns: []schema.ColumnDoc{
+			{Column: "CustomerID", FullName: "customer id", Description: "unique customer identifier"},
+			{Column: "Segment", FullName: "client segment", Description: "customer business segment",
+				ValueMap: map[string]string{
+					"SME": "small and medium enterprise",
+					"LAM": "large account management customer",
+					"KAM": "key account management customer",
+				}},
+			{Column: "Currency", FullName: "currency", Description: "billing currency",
+				ValueMap: map[string]string{"CZK": "Czech koruna", "EUR": "euro"}},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "gasstations", Description: "partner gas stations",
+		Columns: []schema.ColumnDoc{
+			{Column: "GasStationID", FullName: "gas station id", Description: "unique station identifier"},
+			{Column: "ChainID", FullName: "chain id", Description: "chain the station belongs to"},
+			{Column: "Country", FullName: "country", Description: "three-letter country code",
+				ValueMap: map[string]string{"CZE": "Czech Republic", "SVK": "Slovakia", "AUT": "Austria"}},
+			{Column: "Segment", FullName: "segment", Description: "station positioning segment"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "products", Description: "products sold at stations",
+		Columns: []schema.ColumnDoc{
+			{Column: "ProductID", FullName: "product id", Description: "unique product identifier"},
+			{Column: "Description", FullName: "description", Description: "product name"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "transactions_1k", Description: "sampled card transactions",
+		Columns: []schema.ColumnDoc{
+			{Column: "TransactionID", FullName: "transaction id", Description: "unique transaction identifier"},
+			{Column: "CustomerID", FullName: "customer id", Description: "purchasing customer"},
+			{Column: "GasStationID", FullName: "gas station id", Description: "station of purchase"},
+			{Column: "ProductID", FullName: "product id", Description: "purchased product"},
+			{Column: "TxDate", FullName: "transaction date", Description: "date in YYYY-MM-DD format"},
+			{Column: "Amount", FullName: "amount", Description: "quantity purchased"},
+			{Column: "Price", FullName: "price", Description: "total price paid",
+				Range: "unit price = Price / Amount"},
+		},
+	})
+
+	// --- Question templates ---
+
+	segTerms := []struct{ term, code string }{
+		{"small and medium enterprise customers", "SME"},
+		{"large account management customers", "LAM"},
+		{"key account management customers", "KAM"},
+	}
+	for _, st := range segTerms {
+		b.add(
+			fmt.Sprintf("How many %s are there?", st.term),
+			"SELECT COUNT(*) FROM customers WHERE Segment = {{0}}",
+			valueMapAtom(st.term, "customers", "Segment", st.code, firstWord(st.term)),
+		)
+		for _, cur := range []struct{ term, code string }{{"euros", "EUR"}, {"Czech koruna", "CZK"}} {
+			b.add(
+				fmt.Sprintf("How many %s pay in %s?", st.term, cur.term),
+				"SELECT COUNT(*) FROM customers WHERE Segment = {{0}} AND Currency = {{1}}",
+				valueMapAtom(st.term, "customers", "Segment", st.code, firstWord(st.term)),
+				valueMapAtom(cur.term, "customers", "Currency", cur.code, firstWord(cur.term)),
+			)
+		}
+	}
+
+	countryTerms := []struct{ term, code string }{
+		{"the Czech Republic", "CZE"}, {"Slovakia", "SVK"}, {"Austria", "AUT"},
+	}
+	for _, ct := range countryTerms {
+		b.add(
+			fmt.Sprintf("How many gas stations are there in %s?", ct.term),
+			"SELECT COUNT(*) FROM gasstations WHERE Country = {{0}}",
+			valueMapAtom(ct.term, "gasstations", "Country", ct.code, firstWord(trimThe(ct.term))),
+		)
+		b.add(
+			fmt.Sprintf("How many transactions were made at gas stations in %s?", ct.term),
+			"SELECT COUNT(*) FROM transactions_1k JOIN gasstations ON {{1}} WHERE gasstations.Country = {{0}}",
+			valueMapAtom(ct.term, "gasstations", "Country", ct.code, firstWord(trimThe(ct.term))),
+			joinAtom("transactions_1k", "GasStationID", "gasstations", "GasStationID"),
+		)
+	}
+
+	// Unit-price formula.
+	for _, p := range []int{1, 2, 3} {
+		b.add(
+			fmt.Sprintf("How many transactions have a unit price above %d?", p),
+			fmt.Sprintf("SELECT COUNT(*) FROM transactions_1k WHERE {{0}} > %d", p),
+			formulaAtom("unit price", "Price / Amount", "Price"),
+		)
+	}
+
+	// Product-name value binding resolved by fuzzy sampling.
+	for _, pr := range []struct{ term, value string }{
+		{"unleaded petrol", "Unleaded 95"}, {"diesel", "Diesel"}, {"car washes", "Car wash"},
+	} {
+		b.add(
+			fmt.Sprintf("How many transactions bought %s?", pr.term),
+			"SELECT COUNT(*) FROM transactions_1k JOIN products ON {{1}} WHERE products.Description = {{0}}",
+			synonymAtom(pr.term, "products", "Description", pr.value, firstWord(pr.term)),
+			joinAtom("transactions_1k", "ProductID", "products", "ProductID"),
+		)
+	}
+
+	// Date-bounded questions and plain structure.
+	for _, d := range []string{"2012-06-01", "2012-09-15", "2013-03-01"} {
+		b.add(
+			fmt.Sprintf("How many transactions happened before %s?", d),
+			"SELECT COUNT(*) FROM transactions_1k WHERE TxDate < {{0}}",
+			dateAtom("happened before", "transactions_1k", "TxDate", d),
+		)
+	}
+	b.add(
+		"Which customer made the most transactions?",
+		"SELECT CustomerID FROM transactions_1k GROUP BY CustomerID ORDER BY COUNT(*) DESC, CustomerID LIMIT 1",
+	)
+	for _, n := range []int{40, 50} {
+		b.add(
+			fmt.Sprintf("List the transaction ids with an amount over %d.", n),
+			fmt.Sprintf("SELECT TransactionID FROM transactions_1k WHERE Amount > %d ORDER BY TransactionID", n),
+		)
+	}
+
+	train, dev := b.split()
+	return b.db, train, dev
+}
+
+func trimThe(s string) string {
+	if len(s) > 4 && s[:4] == "the " {
+		return s[4:]
+	}
+	return s
+}

@@ -1,0 +1,342 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildFinancial constructs the synthetic counterpart of BIRD's
+// `financial` database (Czech banking): accounts with cryptic issuance
+// frequency codes, single-letter loan status codes, and M/F gender codes —
+// the value-illustration and synonym knowledge the paper's Table III
+// examples come from.
+func buildFinancial(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("financial", seed)
+
+	b.exec(`CREATE TABLE district (
+		district_id INTEGER PRIMARY KEY,
+		A2 TEXT,
+		A3 TEXT,
+		A11 INTEGER
+	)`)
+	b.exec(`CREATE TABLE account (
+		account_id INTEGER PRIMARY KEY,
+		district_id INTEGER,
+		frequency TEXT,
+		date TEXT,
+		FOREIGN KEY (district_id) REFERENCES district(district_id)
+	)`)
+	b.exec(`CREATE TABLE client (
+		client_id INTEGER PRIMARY KEY,
+		gender TEXT,
+		birth_date TEXT,
+		district_id INTEGER,
+		FOREIGN KEY (district_id) REFERENCES district(district_id)
+	)`)
+	b.exec(`CREATE TABLE disp (
+		disp_id INTEGER PRIMARY KEY,
+		client_id INTEGER,
+		account_id INTEGER,
+		type TEXT,
+		FOREIGN KEY (client_id) REFERENCES client(client_id),
+		FOREIGN KEY (account_id) REFERENCES account(account_id)
+	)`)
+	b.exec(`CREATE TABLE loan (
+		loan_id INTEGER PRIMARY KEY,
+		account_id INTEGER,
+		date TEXT,
+		amount INTEGER,
+		duration INTEGER,
+		payments REAL,
+		status TEXT,
+		FOREIGN KEY (account_id) REFERENCES account(account_id)
+	)`)
+
+	districts := []struct {
+		id     int
+		name   string
+		region string
+	}{
+		{1, "Jesenik", "north Moravia"}, {2, "Pisek", "south Bohemia"},
+		{3, "Tabor", "south Bohemia"}, {4, "Beroun", "central Bohemia"},
+		{5, "Prague", "Prague"}, {6, "Brno", "south Moravia"},
+		{7, "Olomouc", "north Moravia"}, {8, "Kolin", "central Bohemia"},
+		{9, "Decin", "north Bohemia"}, {10, "Zlin", "south Moravia"},
+	}
+	for _, d := range districts {
+		b.execf("INSERT INTO district VALUES (%d, '%s', '%s', %d)", d.id, d.name, d.region, 8000+b.rng.Intn(5000))
+	}
+
+	freqCodes := []string{"POPLATEK MESICNE", "POPLATEK TYDNE", "POPLATEK PO OBRATU"}
+	for i := 1; i <= 120; i++ {
+		freq := freqCodes[b.rng.Intn(3)]
+		year := 1993 + b.rng.Intn(6)
+		month := 1 + b.rng.Intn(12)
+		day := 1 + b.rng.Intn(28)
+		b.execf("INSERT INTO account VALUES (%d, %d, '%s', '%04d-%02d-%02d')",
+			i, 1+b.rng.Intn(len(districts)), freq, year, month, day)
+	}
+	for i := 1; i <= 150; i++ {
+		gender := "M"
+		if b.rng.Chance(0.5) {
+			gender = "F"
+		}
+		b.execf("INSERT INTO client VALUES (%d, '%s', '%04d-%02d-%02d', %d)",
+			i, gender, 1940+b.rng.Intn(50), 1+b.rng.Intn(12), 1+b.rng.Intn(28),
+			1+b.rng.Intn(len(districts)))
+	}
+	for i := 1; i <= 150; i++ {
+		typ := "OWNER"
+		if b.rng.Chance(0.25) {
+			typ = "DISPONENT"
+		}
+		b.execf("INSERT INTO disp VALUES (%d, %d, %d, '%s')", i, i, 1+b.rng.Intn(120), typ)
+	}
+	statusCodes := []string{"A", "B", "C", "D"}
+	for i := 1; i <= 90; i++ {
+		duration := []int{12, 24, 36, 48, 60}[b.rng.Intn(5)]
+		amount := 5000 + b.rng.Intn(495000)
+		b.execf("INSERT INTO loan VALUES (%d, %d, '%04d-%02d-%02d', %d, %d, %0.1f, '%s')",
+			i, 1+b.rng.Intn(120), 1994+b.rng.Intn(5), 1+b.rng.Intn(12), 1+b.rng.Intn(28),
+			amount, duration, float64(amount)/float64(duration), statusCodes[b.rng.Intn(4)])
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "account", Description: "bank accounts and their statement issuance settings",
+		Columns: []schema.ColumnDoc{
+			{Column: "account_id", FullName: "account id", Description: "unique account identifier"},
+			{Column: "district_id", FullName: "district id", Description: "branch district of the account"},
+			{Column: "frequency", FullName: "frequency", Description: "frequency of statement issuance",
+				ValueMap: map[string]string{
+					"POPLATEK MESICNE":   "monthly issuance",
+					"POPLATEK TYDNE":     "weekly issuance",
+					"POPLATEK PO OBRATU": "issuance after transaction",
+				}},
+			{Column: "date", FullName: "date", Description: "account opening date in YYYY-MM-DD format"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "client", Description: "bank clients",
+		Columns: []schema.ColumnDoc{
+			{Column: "client_id", FullName: "client id", Description: "unique client identifier"},
+			{Column: "gender", FullName: "gender", Description: "client gender",
+				ValueMap: map[string]string{"F": "female", "M": "male"}},
+			{Column: "birth_date", FullName: "birth date", Description: "client birth date"},
+			{Column: "district_id", FullName: "district id", Description: "district where the client lives"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "loan", Description: "loans granted on accounts",
+		Columns: []schema.ColumnDoc{
+			{Column: "loan_id", FullName: "loan id", Description: "unique loan identifier"},
+			{Column: "account_id", FullName: "account id", Description: "account the loan is attached to"},
+			{Column: "amount", FullName: "amount", Description: "approved loan amount in CZK"},
+			{Column: "duration", FullName: "duration", Description: "loan duration in months"},
+			{Column: "payments", FullName: "payments", Description: "monthly payment"},
+			{Column: "status", FullName: "status", Description: "repayment status",
+				ValueMap: map[string]string{
+					"A": "contract finished, no problems",
+					"B": "contract finished, loan not paid",
+					"C": "running contract, OK so far",
+					"D": "running contract, client in debt",
+				}},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "disp", Description: "disposition rights linking clients to accounts",
+		Columns: []schema.ColumnDoc{
+			{Column: "disp_id", FullName: "disposition id", Description: "unique disposition identifier"},
+			{Column: "client_id", FullName: "client id", Description: "client holding the right"},
+			{Column: "account_id", FullName: "account id", Description: "account the right applies to"},
+			{Column: "type", FullName: "type", Description: "kind of disposition",
+				ValueMap: map[string]string{
+					"OWNER":     "owner of the account",
+					"DISPONENT": "user who can operate the account",
+				}},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "district", Description: "branch districts",
+		Columns: []schema.ColumnDoc{
+			{Column: "district_id", FullName: "district id", Description: "unique district identifier"},
+			{Column: "A2", FullName: "district name", Description: "name of the district"},
+			{Column: "A3", FullName: "region", Description: "region the district belongs to"},
+			{Column: "A11", FullName: "average salary", Description: "average salary in the district"},
+		},
+	})
+
+	// --- Question templates ---
+
+	genders := []struct{ term, value, naive string }{
+		{"women", "F", "Female"}, {"female clients", "F", "Female"},
+		{"men", "M", "Male"}, {"male clients", "M", "Male"},
+	}
+	for _, d := range districts {
+		for _, g := range genders {
+			b.add(
+				fmt.Sprintf("How many clients who opened their accounts in the %s branch are %s?", d.name, g.term),
+				"SELECT COUNT(*) FROM client JOIN district ON {{1}} WHERE district.A2 = '"+d.name+"' AND client.gender = {{0}}",
+				synonymAtom(g.term, "client", "gender", g.value, g.naive),
+				joinAtom("client", "district_id", "district", "district_id"),
+			)
+		}
+	}
+
+	freqs := []struct{ term, code string }{
+		{"weekly issuance", "POPLATEK TYDNE"},
+		{"monthly issuance", "POPLATEK MESICNE"},
+		{"issuance after transaction", "POPLATEK PO OBRATU"},
+	}
+	amounts := []int{50000, 100000, 200000, 300000}
+	for _, f := range freqs {
+		for _, amt := range amounts {
+			b.add(
+				fmt.Sprintf("Among the %s accounts, how many have a loan of under %d?", f.term, amt),
+				fmt.Sprintf("SELECT COUNT(*) FROM account JOIN loan ON {{1}} WHERE account.frequency = {{0}} AND loan.amount < %d", amt),
+				valueMapAtom(f.term, "account", "frequency", f.code, firstWord(f.term)),
+				joinAtom("loan", "account_id", "account", "account_id"),
+			)
+			b.add(
+				fmt.Sprintf("What is the total loan amount held by accounts with %s that borrowed more than %d?", f.term, amt),
+				fmt.Sprintf("SELECT SUM(loan.amount) FROM account JOIN loan ON {{1}} WHERE account.frequency = {{0}} AND loan.amount > %d", amt),
+				valueMapAtom(f.term, "account", "frequency", f.code, firstWord(f.term)),
+				joinAtom("loan", "account_id", "account", "account_id"),
+			)
+		}
+	}
+
+	statuses := []struct{ term, code, naive string }{
+		{"finished contracts with no problems", "A", "finished"},
+		{"finished contracts where the loan was not paid", "B", "unpaid"},
+		{"running contracts that are OK so far", "C", "running"},
+		{"clients in debt", "D", "debt"},
+	}
+	for _, s := range statuses {
+		b.add(
+			fmt.Sprintf("How many loans belong to %s?", s.term),
+			"SELECT COUNT(*) FROM loan WHERE status = {{0}}",
+			valueMapAtom(s.term, "loan", "status", s.code, s.naive),
+		)
+		b.add(
+			fmt.Sprintf("What is the average loan amount for %s?", s.term),
+			"SELECT AVG(amount) FROM loan WHERE status = {{0}}",
+			valueMapAtom(s.term, "loan", "status", s.code, s.naive),
+		)
+		b.add(
+			fmt.Sprintf("List the account ids of loans that belong to %s.", s.term),
+			"SELECT account_id FROM loan WHERE status = {{0}} ORDER BY account_id",
+			valueMapAtom(s.term, "loan", "status", s.code, s.naive),
+		)
+	}
+
+	for _, n := range []int{1, 2, 3, 4} {
+		b.add(
+			fmt.Sprintf("How many loans have a duration of more than %d years?", n),
+			fmt.Sprintf("SELECT COUNT(*) FROM loan WHERE {{0}} > %d", n),
+			formulaAtom("duration in years", "duration / 12", "duration"),
+		)
+		b.add(
+			fmt.Sprintf("List the loan ids with a duration of at least %d years.", n),
+			fmt.Sprintf("SELECT loan_id FROM loan WHERE {{0}} >= %d ORDER BY loan_id", n),
+			formulaAtom("duration in years", "duration / 12", "duration"),
+		)
+	}
+
+	for _, d := range districts {
+		b.add(
+			fmt.Sprintf("How many accounts are held in %s?", d.name),
+			"SELECT COUNT(*) FROM account JOIN district ON {{1}} WHERE {{0}} = '"+d.name+"'",
+			columnAtom(d.name, "district", "district.A2", "district.A3"),
+			joinAtom("account", "district_id", "district", "district_id"),
+		)
+	}
+
+	regions := []string{"north Moravia", "south Bohemia", "central Bohemia", "south Moravia", "north Bohemia"}
+	for _, r := range regions {
+		b.add(
+			fmt.Sprintf("How many clients live in the %s region?", r),
+			"SELECT COUNT(*) FROM client JOIN district ON {{1}} WHERE {{0}} = '"+r+"'",
+			columnAtom(r, "district", "district.A3", "district.A2"),
+			joinAtom("client", "district_id", "district", "district_id"),
+		)
+	}
+
+	dispTypes := []struct{ term, code, naive string }{
+		{"users who can only operate the account", "DISPONENT", "user"},
+		{"owners of accounts", "OWNER", "Owner"},
+	}
+	for _, dt := range dispTypes {
+		b.add(
+			fmt.Sprintf("How many %s are there?", dt.term),
+			"SELECT COUNT(*) FROM disp WHERE type = {{0}}",
+			valueMapAtom(dt.term, "disp", "type", dt.code, dt.naive),
+		)
+		b.add(
+			fmt.Sprintf("List the client ids of %s, ordered by client id.", dt.term),
+			"SELECT client_id FROM disp WHERE type = {{0}} ORDER BY client_id",
+			valueMapAtom(dt.term, "disp", "type", dt.code, dt.naive),
+		)
+	}
+
+	for _, year := range []int{1993, 1994, 1995, 1996, 1997} {
+		b.add(
+			fmt.Sprintf("How many accounts were opened in %d?", year),
+			fmt.Sprintf("SELECT COUNT(*) FROM account WHERE {{0}} = '%d'", year),
+			formulaAtom("opened in the year", "STRFTIME('%Y', date)", "date"),
+		)
+	}
+
+	for _, cutoff := range []string{"1994-06-01", "1995-01-01", "1996-03-15", "1997-09-30"} {
+		b.add(
+			fmt.Sprintf("How many accounts were opened before %s?", cutoff),
+			"SELECT COUNT(*) FROM account WHERE date < {{0}}",
+			dateAtom("opened before", "account", "date", cutoff),
+		)
+	}
+
+	// Harder, multi-knowledge questions combining a value map with a
+	// synonym across two joins.
+	for _, f := range freqs[:2] {
+		for _, g := range genders[:2] {
+			b.add(
+				fmt.Sprintf("How many %s own an account with %s?", g.term, f.term),
+				"SELECT COUNT(*) FROM client JOIN disp ON {{2}} JOIN account ON {{3}} WHERE client.gender = {{0}} AND account.frequency = {{1}}",
+				synonymAtom(g.term, "client", "gender", g.value, g.naive),
+				valueMapAtom(f.term, "account", "frequency", f.code, firstWord(f.term)),
+				joinAtom("disp", "client_id", "client", "client_id"),
+				joinAtom("disp", "account_id", "account", "account_id"),
+			)
+		}
+	}
+
+	train, dev := b.split()
+	return b.db, train, dev
+}
+
+// dateAtom marks a date-literal binding; the naive mistake is a slash
+// format the engine's ISO comparisons will not match.
+func dateAtom(term, table, column, iso string) Atom {
+	slash := iso[5:7] + "/" + iso[8:10] + "/" + iso[:4]
+	return Atom{
+		Kind:           ValueMap,
+		Term:           term,
+		Clause:         fmt.Sprintf("%s refers to %s < '%s'", term, column, iso),
+		CorrectFrag:    "'" + iso + "'",
+		WrongFrag:      "'" + slash + "'",
+		Guess:          0.70,
+		Table:          table,
+		Column:         column,
+		Value:          iso,
+		ValueDerivable: true,
+	}
+}
+
+func firstWord(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' {
+			return s[:i]
+		}
+	}
+	return s
+}

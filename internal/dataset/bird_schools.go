@@ -1,0 +1,222 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildSchools constructs the synthetic counterpart of BIRD's
+// `california_schools` database: the eligible-free-rate formula, magnet/
+// charter integer flags, and the county-vs-city column ambiguity behind the
+// paper's "Fremont" example (§III-B) and Table VI.
+func buildSchools(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("california_schools", seed)
+
+	b.exec(`CREATE TABLE schools (
+		CDSCode TEXT PRIMARY KEY,
+		School TEXT,
+		County TEXT,
+		City TEXT,
+		Magnet INTEGER,
+		Charter INTEGER,
+		FundingType TEXT
+	)`)
+	b.exec(`CREATE TABLE frpm (
+		CDSCode TEXT PRIMARY KEY,
+		AcademicYear TEXT,
+		Enrollment REAL,
+		FreeMealCount REAL,
+		FRPMCount REAL,
+		FOREIGN KEY (CDSCode) REFERENCES schools(CDSCode)
+	)`)
+	b.exec(`CREATE TABLE satscores (
+		cds TEXT PRIMARY KEY,
+		NumTstTakr INTEGER,
+		AvgScrMath INTEGER,
+		AvgScrRead INTEGER,
+		NumGE1500 INTEGER,
+		FOREIGN KEY (cds) REFERENCES schools(CDSCode)
+	)`)
+
+	counties := []string{"Alameda", "Contra Costa", "Los Angeles", "Fresno", "Santa Clara", "San Diego"}
+	cities := []string{"Fremont", "Hayward", "Oakland", "Fresno", "Pasadena", "San Jose", "Lakewood", "Chula Vista"}
+	fundingTypes := []string{"Directly funded", "Locally funded"}
+	for i := 1; i <= 130; i++ {
+		cds := fmt.Sprintf("%014d", 1000000+i)
+		county := counties[b.rng.Intn(len(counties))]
+		city := cities[b.rng.Intn(len(cities))]
+		magnet := 0
+		if b.rng.Chance(0.3) {
+			magnet = 1
+		}
+		charter := 0
+		funding := ""
+		if b.rng.Chance(0.4) {
+			charter = 1
+			funding = fundingTypes[b.rng.Intn(2)]
+		}
+		b.execf("INSERT INTO schools VALUES ('%s', 'School %03d', '%s', '%s', %d, %d, '%s')",
+			cds, i, county, city, magnet, charter, funding)
+		enrollment := 200 + b.rng.Intn(2800)
+		freeMeal := b.rng.Intn(enrollment)
+		b.execf("INSERT INTO frpm VALUES ('%s', '2014-2015', %d, %d, %d)",
+			cds, enrollment, freeMeal, freeMeal+b.rng.Intn(enrollment-freeMeal+1))
+		takers := 20 + b.rng.Intn(980)
+		b.execf("INSERT INTO satscores VALUES ('%s', %d, %d, %d, %d)",
+			cds, takers, 350+b.rng.Intn(400), 350+b.rng.Intn(400), b.rng.Intn(takers/2+1))
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "schools", Description: "directory of California public schools",
+		Columns: []schema.ColumnDoc{
+			{Column: "CDSCode", FullName: "cds code", Description: "unique county-district-school code"},
+			{Column: "School", FullName: "school name", Description: "name of the school"},
+			{Column: "County", FullName: "county", Description: "county the school belongs to"},
+			{Column: "City", FullName: "city", Description: "city the school is located in"},
+			{Column: "Magnet", FullName: "magnet", Description: "whether the school is a magnet school or offers a magnet program",
+				ValueMap: map[string]string{"1": "magnet school or offers a magnet program", "0": "not a magnet school"}},
+			{Column: "Charter", FullName: "charter", Description: "whether the school is a charter school",
+				ValueMap: map[string]string{"1": "charter school", "0": "not a charter school"}},
+			{Column: "FundingType", FullName: "funding type", Description: "charter school funding arrangement",
+				ValueMap: map[string]string{"Directly funded": "funded directly by the state", "Locally funded": "funded by the local district"}},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "frpm", Description: "free and reduced-price meal statistics per school",
+		Columns: []schema.ColumnDoc{
+			{Column: "CDSCode", FullName: "cds code", Description: "school identifier"},
+			{Column: "AcademicYear", FullName: "academic year", Description: "academic year of the record"},
+			{Column: "Enrollment", FullName: "enrollment", Description: "K-12 enrollment count"},
+			{Column: "FreeMealCount", FullName: "free meal count", Description: "students eligible for free meals",
+				Range: "eligible free rate = FreeMealCount / Enrollment"},
+			{Column: "FRPMCount", FullName: "free or reduced price meal count", Description: "students eligible for free or reduced-price meals"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "satscores", Description: "SAT score statistics per school",
+		Columns: []schema.ColumnDoc{
+			{Column: "cds", FullName: "cds code", Description: "school identifier"},
+			{Column: "NumTstTakr", FullName: "number of test takers", Description: "number of SAT test takers"},
+			{Column: "AvgScrMath", FullName: "average math score", Description: "average SAT math score"},
+			{Column: "AvgScrRead", FullName: "average reading score", Description: "average SAT reading score"},
+			{Column: "NumGE1500", FullName: "number scoring 1500 or above", Description: "test takers whose total SAT score is 1500 or more",
+				Range: "excellence rate = NumGE1500 / NumTstTakr"},
+		},
+	})
+
+	// --- Question templates ---
+
+	// The Table VI flagship: magnet flag + SAT takers threshold.
+	for _, n := range []int{300, 400, 500, 600, 700} {
+		b.add(
+			fmt.Sprintf("Among schools with SAT test takers of over %d, how many are magnet schools or offer a magnet program?", n),
+			fmt.Sprintf("SELECT COUNT(*) FROM schools JOIN satscores ON {{1}} WHERE satscores.NumTstTakr > %d AND schools.Magnet = {{0}}", n),
+			flagAtom("magnet schools or offer a magnet program", "schools", "Magnet"),
+			joinAtom("satscores", "cds", "schools", "CDSCode"),
+		)
+		b.add(
+			fmt.Sprintf("How many charter schools have more than %d SAT test takers?", n),
+			fmt.Sprintf("SELECT COUNT(*) FROM schools JOIN satscores ON {{1}} WHERE satscores.NumTstTakr > %d AND schools.Charter = {{0}}", n),
+			flagAtom("charter schools", "schools", "Charter"),
+			joinAtom("satscores", "cds", "schools", "CDSCode"),
+		)
+	}
+
+	// Eligible free rate: the classic BIRD formula.
+	for _, county := range counties {
+		b.add(
+			fmt.Sprintf("What is the highest eligible free rate for K-12 students in schools located in %s county?", county),
+			"SELECT MAX({{0}}) FROM frpm JOIN schools ON {{1}} WHERE schools.County = '"+county+"'",
+			formulaAtom("eligible free rate", "frpm.FreeMealCount / frpm.Enrollment", "frpm.FreeMealCount"),
+			joinAtom("frpm", "CDSCode", "schools", "CDSCode"),
+		)
+		b.add(
+			fmt.Sprintf("How many schools in %s county have an eligible free rate above 0.5?", county),
+			"SELECT COUNT(*) FROM frpm JOIN schools ON {{1}} WHERE schools.County = '"+county+"' AND {{0}} > 0.5",
+			formulaAtom("eligible free rate", "frpm.FreeMealCount / frpm.Enrollment", "frpm.FreeMealCount"),
+			joinAtom("frpm", "CDSCode", "schools", "CDSCode"),
+		)
+	}
+
+	// Excellence rate formula.
+	for _, r := range []string{"0.1", "0.2", "0.3"} {
+		b.add(
+			fmt.Sprintf("List the cds codes of schools whose SAT excellence rate is over %s.", r),
+			"SELECT cds FROM satscores WHERE {{0}} > "+r+" ORDER BY cds",
+			formulaAtom("excellence rate", "CAST(NumGE1500 AS REAL) / NumTstTakr", "NumGE1500"),
+		)
+	}
+
+	// The Fremont ambiguity: city names that read like counties.
+	for _, city := range cities {
+		b.add(
+			fmt.Sprintf("How many schools are there in %s?", city),
+			"SELECT COUNT(*) FROM schools WHERE {{0}} = '"+city+"'",
+			columnAtom(city, "schools", "City", "County"),
+		)
+	}
+	for _, county := range counties {
+		b.add(
+			fmt.Sprintf("How many test takers are there at schools in %s county in total?", county),
+			"SELECT SUM(satscores.NumTstTakr) FROM satscores JOIN schools ON {{1}} WHERE {{0}} = '"+county+"'",
+			columnAtom(county, "schools", "schools.County", "schools.City"),
+			joinAtom("satscores", "cds", "schools", "CDSCode"),
+		)
+	}
+
+	// Charter funding value map.
+	for _, ft := range []struct{ term, code string }{
+		{"directly funded charter schools", "Directly funded"},
+		{"locally funded charter schools", "Locally funded"},
+	} {
+		b.add(
+			fmt.Sprintf("How many %s are there?", ft.term),
+			"SELECT COUNT(*) FROM schools WHERE Charter = 1 AND FundingType = {{0}}",
+			valueMapAtom(ft.term, "schools", "FundingType", ft.code, firstWord(ft.term)),
+		)
+		b.add(
+			fmt.Sprintf("List the school names of %s, ordered by name.", ft.term),
+			"SELECT School FROM schools WHERE Charter = 1 AND FundingType = {{0}} ORDER BY School",
+			valueMapAtom(ft.term, "schools", "FundingType", ft.code, firstWord(ft.term)),
+		)
+	}
+
+	// Plain structural questions with no knowledge atoms: the EX floor.
+	for _, n := range []int{500, 520, 540, 560} {
+		b.add(
+			fmt.Sprintf("How many schools have an average SAT math score above %d?", n),
+			fmt.Sprintf("SELECT COUNT(*) FROM satscores WHERE AvgScrMath > %d", n),
+		)
+	}
+	b.add(
+		"Which county has the most schools?",
+		"SELECT County FROM schools GROUP BY County ORDER BY COUNT(*) DESC LIMIT 1",
+	)
+	b.add(
+		"List the five schools with the highest enrollment.",
+		"SELECT schools.School FROM schools JOIN frpm ON {{0}} ORDER BY frpm.Enrollment DESC LIMIT 5",
+		joinAtom("frpm", "CDSCode", "schools", "CDSCode"),
+	)
+
+	train, dev := b.split()
+	return b.db, train, dev
+}
+
+// flagAtom builds a value-illustration atom over a 0/1 integer flag column
+// ("magnet schools ... means that Magnet = 1"). The naive mistake treats
+// the flag as a text value.
+func flagAtom(term, table, column string) Atom {
+	return Atom{
+		Kind:         ValueMap,
+		Term:         term,
+		Clause:       fmt.Sprintf("%s refers to %s = 1", term, column),
+		CorrectFrag:  "1",
+		WrongFrag:    "'Yes'",
+		Guess:        0.35,
+		Table:        table,
+		Column:       column,
+		Value:        "1",
+		DocDerivable: true,
+	}
+}

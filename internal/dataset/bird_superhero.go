@@ -1,0 +1,202 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildSuperhero constructs the synthetic counterpart of BIRD's
+// `superhero` database: capitalised colour values (the Table I
+// case-sensitivity example), the full_name vs superhero_name column
+// confusion, and id-table joins for eye colour and publisher.
+func buildSuperhero(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("superhero", seed)
+
+	b.exec(`CREATE TABLE colour (
+		id INTEGER PRIMARY KEY,
+		colour TEXT
+	)`)
+	b.exec(`CREATE TABLE publisher (
+		id INTEGER PRIMARY KEY,
+		publisher_name TEXT
+	)`)
+	b.exec(`CREATE TABLE gender (
+		id INTEGER PRIMARY KEY,
+		gender TEXT
+	)`)
+	b.exec(`CREATE TABLE superhero (
+		id INTEGER PRIMARY KEY,
+		superhero_name TEXT,
+		full_name TEXT,
+		eye_colour_id INTEGER,
+		hair_colour_id INTEGER,
+		publisher_id INTEGER,
+		gender_id INTEGER,
+		height_cm INTEGER,
+		weight_kg INTEGER,
+		FOREIGN KEY (eye_colour_id) REFERENCES colour(id),
+		FOREIGN KEY (hair_colour_id) REFERENCES colour(id),
+		FOREIGN KEY (publisher_id) REFERENCES publisher(id),
+		FOREIGN KEY (gender_id) REFERENCES gender(id)
+	)`)
+
+	colours := []string{"Blue", "Brown", "Green", "Black", "Red", "Yellow"}
+	for i, c := range colours {
+		b.execf("INSERT INTO colour VALUES (%d, '%s')", i+1, c)
+	}
+	publishers := []string{"Marvel Comics", "DC Comics", "Dark Horse Comics", "Image Comics"}
+	for i, p := range publishers {
+		b.execf("INSERT INTO publisher VALUES (%d, '%s')", i+1, p)
+	}
+	b.exec("INSERT INTO gender VALUES (1, 'Male'), (2, 'Female')")
+	firsts := []string{"Peter", "Diana", "Bruce", "Clark", "Natasha", "Tony", "Steve", "Wanda", "Carol", "Hal"}
+	lasts := []string{"Parker", "Prince", "Wayne", "Kent", "Romanoff", "Stark", "Rogers", "Maximoff", "Danvers", "Jordan"}
+	for i := 1; i <= 140; i++ {
+		b.execf("INSERT INTO superhero VALUES (%d, 'Hero%03d', '%s %s', %d, %d, %d, %d, %d, %d)",
+			i, i,
+			firsts[b.rng.Intn(len(firsts))], lasts[b.rng.Intn(len(lasts))],
+			1+b.rng.Intn(len(colours)), 1+b.rng.Intn(len(colours)),
+			1+b.rng.Intn(len(publishers)), 1+b.rng.Intn(2),
+			150+b.rng.Intn(60), 50+b.rng.Intn(70))
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "superhero", Description: "superheroes with physical attributes and publisher links",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique superhero identifier"},
+			{Column: "superhero_name", FullName: "superhero name", Description: "the hero's alias"},
+			{Column: "full_name", FullName: "full name", Description: "the hero's civilian full name"},
+			{Column: "eye_colour_id", FullName: "eye colour id", Description: "eye colour, id into the colour table"},
+			{Column: "hair_colour_id", FullName: "hair colour id", Description: "hair colour, id into the colour table"},
+			{Column: "publisher_id", FullName: "publisher id", Description: "publisher, id into the publisher table"},
+			{Column: "gender_id", FullName: "gender id", Description: "gender, id into the gender table"},
+			{Column: "height_cm", FullName: "height in cm", Description: "height in centimetres"},
+			{Column: "weight_kg", FullName: "weight in kg", Description: "weight in kilograms"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "colour", Description: "colour lookup table",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique colour identifier"},
+			{Column: "colour", FullName: "colour", Description: "colour name, capitalised (Blue, Brown, ...)"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "publisher", Description: "publisher lookup table",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique publisher identifier"},
+			{Column: "publisher_name", FullName: "publisher name", Description: "full publisher name"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "gender", Description: "gender lookup table",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique gender identifier"},
+			{Column: "gender", FullName: "gender", Description: "gender value, capitalised (Male, Female)"},
+		},
+	})
+
+	// --- Question templates ---
+
+	// The Table I example shape: full names of heroes by eye colour.
+	for _, c := range colours {
+		lower := firstWord(c)
+		b.add(
+			fmt.Sprintf("List down at least five full names of superheroes with %s eyes.", lower),
+			"SELECT {{0}} FROM superhero JOIN colour ON {{2}} WHERE colour.colour = {{1}} ORDER BY superhero.id LIMIT 5",
+			columnAtom("full names", "superhero", "superhero.full_name", "superhero.superhero_name"),
+			synonymAtom(lower+" eyes", "colour", "colour", c, lowerFirst(c)),
+			joinAtom("superhero", "eye_colour_id", "colour", "id"),
+		)
+		b.add(
+			fmt.Sprintf("How many superheroes have %s hair?", lower),
+			"SELECT COUNT(*) FROM superhero JOIN colour ON {{1}} WHERE colour.colour = {{0}}",
+			synonymAtom(lower+" hair", "colour", "colour", c, lowerFirst(c)),
+			joinAtom("superhero", "hair_colour_id", "colour", "id"),
+		)
+	}
+
+	// Publisher value binding: the question says "Marvel", the value is
+	// 'Marvel Comics' — fuzzy value retrieval closes the gap.
+	for _, p := range []struct{ term, value string }{
+		{"Marvel", "Marvel Comics"}, {"DC", "DC Comics"},
+		{"Dark Horse", "Dark Horse Comics"}, {"Image", "Image Comics"},
+	} {
+		b.add(
+			fmt.Sprintf("How many superheroes were published by %s?", p.term),
+			"SELECT COUNT(*) FROM superhero JOIN publisher ON {{1}} WHERE publisher.publisher_name = {{0}}",
+			synonymAtom(p.term, "publisher", "publisher_name", p.value, p.term),
+			joinAtom("superhero", "publisher_id", "publisher", "id"),
+		)
+		b.add(
+			fmt.Sprintf("List the superhero names published by %s, ordered by name.", p.term),
+			"SELECT superhero.superhero_name FROM superhero JOIN publisher ON {{1}} WHERE publisher.publisher_name = {{0}} ORDER BY superhero.superhero_name",
+			synonymAtom(p.term, "publisher", "publisher_name", p.value, p.term),
+			joinAtom("superhero", "publisher_id", "publisher", "id"),
+		)
+	}
+
+	// Gendered counts with capitalised values.
+	for _, g := range []struct{ term, value, naive string }{
+		{"female superheroes", "Female", "female"},
+		{"male superheroes", "Male", "male"},
+	} {
+		b.add(
+			fmt.Sprintf("How many %s are there?", g.term),
+			"SELECT COUNT(*) FROM superhero JOIN gender ON {{1}} WHERE gender.gender = {{0}}",
+			synonymAtom(g.term, "gender", "gender", g.value, g.naive),
+			joinAtom("superhero", "gender_id", "gender", "id"),
+		)
+		b.add(
+			fmt.Sprintf("What is the average height of %s?", g.term),
+			"SELECT AVG(superhero.height_cm) FROM superhero JOIN gender ON {{1}} WHERE gender.gender = {{0}}",
+			synonymAtom(g.term, "gender", "gender", g.value, g.naive),
+			joinAtom("superhero", "gender_id", "gender", "id"),
+		)
+	}
+
+	// Physical-attribute questions, no knowledge atoms.
+	for _, h := range []int{170, 180, 190, 200} {
+		b.add(
+			fmt.Sprintf("How many superheroes are taller than %d cm?", h),
+			fmt.Sprintf("SELECT COUNT(*) FROM superhero WHERE height_cm > %d", h),
+		)
+	}
+	for _, w := range []int{60, 80, 100} {
+		b.add(
+			fmt.Sprintf("List the superhero names of heroes weighing under %d kg.", w),
+			fmt.Sprintf("SELECT superhero_name FROM superhero WHERE weight_kg < %d ORDER BY superhero_name", w),
+		)
+	}
+	b.add(
+		"Which publisher has the most superheroes?",
+		"SELECT publisher.publisher_name FROM superhero JOIN publisher ON {{0}} GROUP BY publisher.publisher_name ORDER BY COUNT(*) DESC LIMIT 1",
+		joinAtom("superhero", "publisher_id", "publisher", "id"),
+	)
+
+	// BMI-style formula.
+	for _, n := range []int{20, 25, 30} {
+		b.add(
+			fmt.Sprintf("How many superheroes have a body mass index over %d?", n),
+			fmt.Sprintf("SELECT COUNT(*) FROM superhero WHERE {{0}} > %d", n),
+			formulaAtom("body mass index",
+				"CAST(weight_kg AS REAL) * 10000 / (height_cm * height_cm)",
+				"weight_kg / height_cm"),
+		)
+	}
+
+	train, dev := b.split()
+	return b.db, train, dev
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	b := []byte(s)
+	if b[0] >= 'A' && b[0] <= 'Z' {
+		b[0] += 'a' - 'A'
+	}
+	return string(b)
+}

@@ -1,0 +1,225 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildThrombosis constructs the synthetic counterpart of BIRD's
+// `thrombosis_prediction` database: patient laboratory measurements whose
+// normal ranges live only in the description files — the paper's Table III
+// domain-knowledge example ("hematoclit level exceeded the normal range
+// refers to HCT >= 52").
+func buildThrombosis(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("thrombosis_prediction", seed)
+
+	b.exec(`CREATE TABLE patient (
+		id INTEGER PRIMARY KEY,
+		sex TEXT,
+		birthday TEXT,
+		admission TEXT,
+		diagnosis TEXT
+	)`)
+	b.exec(`CREATE TABLE laboratory (
+		lab_id INTEGER PRIMARY KEY,
+		id INTEGER,
+		lab_date TEXT,
+		hct REAL,
+		glu INTEGER,
+		wbc REAL,
+		plt INTEGER,
+		FOREIGN KEY (id) REFERENCES patient(id)
+	)`)
+	b.exec(`CREATE TABLE examination (
+		exam_id INTEGER PRIMARY KEY,
+		id INTEGER,
+		exam_date TEXT,
+		thrombosis INTEGER,
+		ana INTEGER,
+		FOREIGN KEY (id) REFERENCES patient(id)
+	)`)
+
+	diagnoses := []string{"SLE", "APS", "PSS", "RA", "MCTD"}
+	for p := 1; p <= 90; p++ {
+		sex := "M"
+		if b.rng.Chance(0.55) {
+			sex = "F"
+		}
+		adm := "+"
+		if b.rng.Chance(0.4) {
+			adm = "-"
+		}
+		b.execf("INSERT INTO patient VALUES (%d, '%s', '%04d-%02d-%02d', '%s', '%s')",
+			p, sex, 1930+b.rng.Intn(60), 1+b.rng.Intn(12), 1+b.rng.Intn(28),
+			adm, diagnoses[b.rng.Intn(len(diagnoses))])
+	}
+	lid := 1
+	for p := 1; p <= 90; p++ {
+		n := 1 + b.rng.Intn(4)
+		for j := 0; j < n; j++ {
+			b.execf("INSERT INTO laboratory VALUES (%d, %d, '%04d-%02d-%02d', %0.1f, %d, %0.1f, %d)",
+				lid, p, 1991+b.rng.Intn(8), 1+b.rng.Intn(12), 1+b.rng.Intn(28),
+				20+b.rng.Float64()*40, 60+b.rng.Intn(140), 2+b.rng.Float64()*13, 50+b.rng.Intn(400))
+			lid++
+		}
+	}
+	for p := 1; p <= 90; p++ {
+		if !b.rng.Chance(0.8) {
+			continue
+		}
+		thrombosis := 0
+		if b.rng.Chance(0.3) {
+			thrombosis = 1 + b.rng.Intn(2)
+		}
+		b.execf("INSERT INTO examination VALUES (%d, %d, '%04d-%02d-%02d', %d, %d)",
+			p, p, 1992+b.rng.Intn(7), 1+b.rng.Intn(12), 1+b.rng.Intn(28),
+			thrombosis, b.rng.Intn(256))
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "patient", Description: "patients under observation",
+		Columns: []schema.ColumnDoc{
+			{Column: "id", FullName: "id", Description: "unique patient identifier"},
+			{Column: "sex", FullName: "sex", Description: "patient sex",
+				ValueMap: map[string]string{"F": "female", "M": "male"}},
+			{Column: "birthday", FullName: "birthday", Description: "patient birth date"},
+			{Column: "admission", FullName: "admission", Description: "admission status",
+				ValueMap: map[string]string{"+": "admitted to the hospital", "-": "followed at the outpatient clinic"}},
+			{Column: "diagnosis", FullName: "diagnosis", Description: "disease code diagnosed"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "laboratory", Description: "laboratory examination results",
+		Columns: []schema.ColumnDoc{
+			{Column: "lab_id", FullName: "lab id", Description: "unique lab-result identifier"},
+			{Column: "id", FullName: "patient id", Description: "patient the result belongs to"},
+			{Column: "lab_date", FullName: "lab date", Description: "date of the examination"},
+			{Column: "hct", FullName: "hematoclit", Description: "hematoclit level",
+				Range: "Normal range: 29 < N < 52"},
+			{Column: "glu", FullName: "glucose", Description: "blood glucose",
+				Range: "Normal range: N < 180"},
+			{Column: "wbc", FullName: "white blood cell", Description: "white blood cell count",
+				Range: "Normal range: 3.5 < N < 9.0"},
+			{Column: "plt", FullName: "platelet", Description: "platelet count",
+				Range: "Normal range: 100 < N < 400"},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "examination", Description: "special laboratory examinations",
+		Columns: []schema.ColumnDoc{
+			{Column: "exam_id", FullName: "exam id", Description: "unique examination identifier"},
+			{Column: "id", FullName: "patient id", Description: "patient examined"},
+			{Column: "exam_date", FullName: "examination date", Description: "date of the examination"},
+			{Column: "thrombosis", FullName: "thrombosis", Description: "degree of thrombosis",
+				ValueMap: map[string]string{"0": "negative, no thrombosis", "1": "positive, most severe", "2": "positive, severe"}},
+			{Column: "ana", FullName: "anti-nucleus antibody", Description: "anti-nucleus antibody concentration"},
+		},
+	})
+
+	// --- Question templates ---
+
+	// The Table III flagship: normal-range thresholds. Each measurement's
+	// range lives only in the description file.
+	rangeCases := []struct {
+		term, correct, wrong string
+	}{
+		{"hematoclit level exceeded the normal range", "laboratory.hct >= 52", "laboratory.hct > 0"},
+		{"hematoclit level below the normal range", "laboratory.hct <= 29", "laboratory.hct < 52"},
+		{"glucose above the normal range", "laboratory.glu >= 180", "laboratory.glu > 100"},
+		{"white blood cell count beyond the normal range", "laboratory.wbc >= 9.0", "laboratory.wbc > 0"},
+		{"white blood cell count under the normal range", "laboratory.wbc <= 3.5", "laboratory.wbc < 9.0"},
+		{"platelet count above the normal range", "laboratory.plt >= 400", "laboratory.plt > 100"},
+	}
+	for _, rc := range rangeCases {
+		b.add(
+			fmt.Sprintf("How many laboratory examinations show that the %s?", rc.term),
+			"SELECT COUNT(*) FROM laboratory WHERE {{0}}",
+			thresholdAtom(rc.term, "laboratory", rangeColumn(rc.correct), rc.correct, rc.wrong),
+		)
+		b.add(
+			fmt.Sprintf("Name the ids of patients whose %s.", rc.term),
+			"SELECT DISTINCT patient.id FROM patient JOIN laboratory ON {{1}} WHERE {{0}} ORDER BY patient.id",
+			thresholdAtom(rc.term, "laboratory", rangeColumn(rc.correct), rc.correct, rc.wrong),
+			joinAtom("laboratory", "id", "patient", "id"),
+		)
+	}
+
+	// Sex synonym + admission code combinations.
+	for _, sx := range []struct{ term, value, naive string }{
+		{"female patients", "F", "Female"}, {"male patients", "M", "Male"},
+	} {
+		b.add(
+			fmt.Sprintf("How many %s are there?", sx.term),
+			"SELECT COUNT(*) FROM patient WHERE sex = {{0}}",
+			synonymAtom(sx.term, "patient", "sex", sx.value, sx.naive),
+		)
+		b.add(
+			fmt.Sprintf("How many %s were admitted to the hospital?", sx.term),
+			"SELECT COUNT(*) FROM patient WHERE sex = {{0}} AND admission = {{1}}",
+			synonymAtom(sx.term, "patient", "sex", sx.value, sx.naive),
+			valueMapAtom("admitted to the hospital", "patient", "admission", "+", "admitted"),
+		)
+	}
+
+	// Thrombosis degree value map.
+	for _, tc := range []struct {
+		term string
+		code string
+	}{
+		{"no thrombosis", "0"}, {"the most severe thrombosis", "1"}, {"severe thrombosis", "2"},
+	} {
+		b.add(
+			fmt.Sprintf("How many examinations found %s?", tc.term),
+			"SELECT COUNT(*) FROM examination WHERE thrombosis = {{0}}",
+			Atom{
+				Kind:         ValueMap,
+				Term:         tc.term,
+				Clause:       fmt.Sprintf("%s refers to thrombosis = %s", tc.term, tc.code),
+				CorrectFrag:  tc.code,
+				WrongFrag:    "'" + firstWord(tc.term) + "'",
+				Guess:        0.15,
+				Table:        "examination",
+				Column:       "thrombosis",
+				Value:        tc.code,
+				DocDerivable: true,
+			},
+		)
+	}
+
+	// Diagnosis literals: plain value binding, resolvable by sampling.
+	for _, d := range diagnoses {
+		b.add(
+			fmt.Sprintf("How many patients were diagnosed with %s?", d),
+			"SELECT COUNT(*) FROM patient WHERE {{0}} = '"+d+"'",
+			columnAtom(d, "patient", "diagnosis", "admission"),
+		)
+	}
+
+	// Age formula.
+	for _, y := range []int{50, 60, 70} {
+		b.add(
+			fmt.Sprintf("How many patients were older than %d in 1999?", y),
+			fmt.Sprintf("SELECT COUNT(*) FROM patient WHERE {{0}} > %d", y),
+			formulaAtom("age in 1999", "1999 - CAST(STRFTIME('%Y', birthday) AS INTEGER)", "birthday"),
+		)
+	}
+
+	train, dev := b.split()
+	return b.db, train, dev
+}
+
+// rangeColumn extracts the bare column name from a qualified predicate like
+// "laboratory.hct >= 52".
+func rangeColumn(pred string) string {
+	dot := 0
+	for i := 0; i < len(pred); i++ {
+		if pred[i] == '.' {
+			dot = i + 1
+		}
+		if pred[i] == ' ' {
+			return pred[dot:i]
+		}
+	}
+	return pred
+}

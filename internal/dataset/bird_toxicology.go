@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/schema"
+)
+
+// buildToxicology constructs the synthetic counterpart of BIRD's
+// `toxicology` database: molecules, atoms and bonds where both the element
+// codes ('cl' means Chlorine, ...) and the bond-type symbols ('=' means
+// double bond) are value-illustration knowledge. The paper's Table I
+// "unnecessary information" example comes from this domain.
+func buildToxicology(seed uint64) (*schema.DB, []Example, []Example) {
+	b := newBuilder("toxicology", seed)
+
+	b.exec(`CREATE TABLE molecule (
+		molecule_id TEXT PRIMARY KEY,
+		label TEXT
+	)`)
+	b.exec(`CREATE TABLE atom (
+		atom_id TEXT PRIMARY KEY,
+		molecule_id TEXT,
+		element TEXT,
+		FOREIGN KEY (molecule_id) REFERENCES molecule(molecule_id)
+	)`)
+	b.exec(`CREATE TABLE bond (
+		bond_id TEXT PRIMARY KEY,
+		molecule_id TEXT,
+		bond_type TEXT,
+		FOREIGN KEY (molecule_id) REFERENCES molecule(molecule_id)
+	)`)
+
+	elements := []string{"c", "h", "o", "n", "s", "cl", "p", "na", "br", "f"}
+	bondTypes := []string{"-", "=", "#"}
+	for m := 1; m <= 60; m++ {
+		mid := fmt.Sprintf("TR%03d", m)
+		label := "-"
+		if b.rng.Chance(0.45) {
+			label = "+"
+		}
+		b.execf("INSERT INTO molecule VALUES ('%s', '%s')", mid, label)
+		nAtoms := 3 + b.rng.Intn(8)
+		for a := 1; a <= nAtoms; a++ {
+			b.execf("INSERT INTO atom VALUES ('%s_%d', '%s', '%s')",
+				mid, a, mid, elements[b.rng.Intn(len(elements))])
+		}
+		nBonds := 2 + b.rng.Intn(6)
+		for bd := 1; bd <= nBonds; bd++ {
+			bt := bondTypes[0]
+			r := b.rng.Float64()
+			if r > 0.8 {
+				bt = bondTypes[2]
+			} else if r > 0.5 {
+				bt = bondTypes[1]
+			}
+			b.execf("INSERT INTO bond VALUES ('%s_b%d', '%s', '%s')", mid, bd, mid, bt)
+		}
+	}
+
+	b.doc(schema.TableDoc{
+		Table: "molecule", Description: "molecules under toxicology study",
+		Columns: []schema.ColumnDoc{
+			{Column: "molecule_id", FullName: "molecule id", Description: "unique molecule identifier, TRxxx"},
+			{Column: "label", FullName: "label", Description: "carcinogenicity label",
+				ValueMap: map[string]string{"+": "carcinogenic", "-": "non-carcinogenic"}},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "atom", Description: "atoms belonging to molecules",
+		Columns: []schema.ColumnDoc{
+			{Column: "atom_id", FullName: "atom id", Description: "unique atom identifier"},
+			{Column: "molecule_id", FullName: "molecule id", Description: "owning molecule"},
+			{Column: "element", FullName: "element", Description: "chemical element code",
+				ValueMap: map[string]string{
+					"c": "Carbon", "h": "Hydrogen", "o": "Oxygen", "n": "Nitrogen",
+					"s": "Sulfur", "cl": "Chlorine", "p": "Phosphorus", "na": "Sodium",
+					"br": "Bromine", "f": "Fluorine",
+				}},
+		},
+	})
+	b.doc(schema.TableDoc{
+		Table: "bond", Description: "bonds within molecules",
+		Columns: []schema.ColumnDoc{
+			{Column: "bond_id", FullName: "bond id", Description: "unique bond identifier"},
+			{Column: "molecule_id", FullName: "molecule id", Description: "owning molecule"},
+			{Column: "bond_type", FullName: "bond type", Description: "bond symbol",
+				ValueMap: map[string]string{"-": "single bond", "=": "double bond", "#": "triple bond"}},
+		},
+	})
+
+	// --- Question templates ---
+
+	bondTerms := []struct{ term, code, naive string }{
+		{"double bond", "=", "double"},
+		{"single bond", "-", "single"},
+		{"triple bond", "#", "triple"},
+	}
+	// The Table I shape: elements of a molecule's bonds.
+	for _, bt := range bondTerms {
+		for _, m := range []string{"TR024", "TR007", "TR031", "TR048"} {
+			b.add(
+				fmt.Sprintf("How many %ss does molecule %s contain?", bt.term, m),
+				"SELECT COUNT(*) FROM bond WHERE molecule_id = '"+m+"' AND bond_type = {{0}}",
+				valueMapAtom(bt.term, "bond", "bond_type", bt.code, bt.naive),
+			)
+		}
+		b.add(
+			fmt.Sprintf("How many molecules contain at least one %s?", bt.term),
+			"SELECT COUNT(DISTINCT molecule_id) FROM bond WHERE bond_type = {{0}}",
+			valueMapAtom(bt.term, "bond", "bond_type", bt.code, bt.naive),
+		)
+	}
+
+	elementTerms := []struct{ term, code string }{
+		{"Chlorine", "cl"}, {"Carbon", "c"}, {"Hydrogen", "h"},
+		{"Oxygen", "o"}, {"Nitrogen", "n"}, {"Sulfur", "s"},
+		{"Sodium", "na"}, {"Bromine", "br"},
+	}
+	for _, el := range elementTerms {
+		b.add(
+			fmt.Sprintf("How many %s atoms are there across all molecules?", el.term),
+			"SELECT COUNT(*) FROM atom WHERE element = {{0}}",
+			valueMapAtom(el.term, "atom", "element", el.code, el.term),
+		)
+		b.add(
+			fmt.Sprintf("List the molecule ids that contain %s atoms.", el.term),
+			"SELECT DISTINCT molecule_id FROM atom WHERE element = {{0}} ORDER BY molecule_id",
+			valueMapAtom(el.term, "atom", "element", el.code, el.term),
+		)
+	}
+
+	// Carcinogenic label knowledge crossed with element/bond knowledge.
+	for _, lab := range []struct{ term, code, naive string }{
+		{"carcinogenic molecules", "+", "carcinogenic"},
+		{"non-carcinogenic molecules", "-", "non-carcinogenic"},
+	} {
+		b.add(
+			fmt.Sprintf("How many %s are there?", lab.term),
+			"SELECT COUNT(*) FROM molecule WHERE label = {{0}}",
+			valueMapAtom(lab.term, "molecule", "label", lab.code, lab.naive),
+		)
+		for _, el := range elementTerms[:3] {
+			b.add(
+				fmt.Sprintf("How many %s contain %s atoms?", lab.term, el.term),
+				"SELECT COUNT(DISTINCT molecule.molecule_id) FROM molecule JOIN atom ON {{2}} WHERE molecule.label = {{0}} AND atom.element = {{1}}",
+				valueMapAtom(lab.term, "molecule", "label", lab.code, lab.naive),
+				valueMapAtom(el.term, "atom", "element", el.code, el.term),
+				joinAtom("atom", "molecule_id", "molecule", "molecule_id"),
+			)
+		}
+	}
+
+	// Structural questions with no knowledge atoms.
+	for _, n := range []int{5, 7, 9} {
+		b.add(
+			fmt.Sprintf("How many molecules have more than %d atoms?", n),
+			fmt.Sprintf("SELECT COUNT(*) FROM (SELECT molecule_id FROM atom GROUP BY molecule_id HAVING COUNT(*) > %d) sub", n),
+		)
+	}
+	b.add(
+		"Which molecule has the most atoms?",
+		"SELECT molecule_id FROM atom GROUP BY molecule_id ORDER BY COUNT(*) DESC, molecule_id LIMIT 1",
+	)
+
+	train, dev := b.split()
+	return b.db, train, dev
+}

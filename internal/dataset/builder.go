@@ -1,0 +1,243 @@
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/llm"
+	"repro/internal/schema"
+	"repro/internal/sqlengine"
+)
+
+// builder accumulates one database plus its question set. Each bird_*.go /
+// spider_*.go file defines a build function over one of these.
+type builder struct {
+	db        *schema.DB
+	examples  []Example
+	seq       int
+	rng       *llm.Rand
+	validated map[string]bool
+}
+
+func newBuilder(dbName string, seed uint64) *builder {
+	return &builder{
+		db:        schema.NewDB(sqlengine.NewDatabase(dbName)),
+		rng:       llm.NewRand(seed),
+		validated: make(map[string]bool),
+	}
+}
+
+// exec runs DDL/DML against the database, panicking on error: corpus
+// definitions are program constants, so failures are bugs.
+func (b *builder) exec(sql string) { b.db.Engine.MustExec(sql) }
+
+func (b *builder) execf(format string, args ...any) {
+	b.exec(fmt.Sprintf(format, args...))
+}
+
+// doc installs a table description file.
+func (b *builder) doc(td schema.TableDoc) { b.db.SetDoc(&td) }
+
+// add creates, finalises and stores one example, plus two paraphrase
+// variants sharing its SQL template and atoms. Paraphrases mirror real
+// BIRD's many near-duplicate question shapes and scale the corpus without
+// padding its knowledge content.
+func (b *builder) add(question, sqlTemplate string, atoms ...Atom) {
+	for _, q := range paraphrases(question) {
+		b.addOne(q, sqlTemplate, atoms)
+	}
+}
+
+func (b *builder) addOne(question, sqlTemplate string, atoms []Atom) {
+	e := Example{
+		ID:          fmt.Sprintf("%s-%04d", b.db.Name, b.seq),
+		DB:          b.db.Name,
+		Question:    question,
+		SQLTemplate: sqlTemplate,
+		Atoms:       atoms,
+	}
+	b.seq++
+	if err := e.Finalize(); err != nil {
+		panic(err)
+	}
+	// Gold SQL must execute: catching template/schema drift at build time.
+	// Identical gold queries (paraphrase siblings) validate once.
+	if !b.validated[e.GoldSQL] {
+		if _, err := b.db.Engine.Exec(e.GoldSQL); err != nil {
+			panic(fmt.Sprintf("dataset: gold SQL for %s does not execute: %v\n%s", e.ID, err, e.GoldSQL))
+		}
+		b.validated[e.GoldSQL] = true
+	}
+	b.examples = append(b.examples, e)
+}
+
+// paraphrases returns the question plus two reworded variants.
+func paraphrases(q string) []string {
+	out := []string{q}
+	switch {
+	case strings.HasPrefix(q, "How many"):
+		out = append(out,
+			"Count how many"+strings.TrimPrefix(q, "How many"),
+			"Please tell me how many"+strings.TrimPrefix(q, "How many"))
+	case strings.HasPrefix(q, "List"):
+		out = append(out,
+			"Show"+strings.TrimPrefix(q, "List"),
+			"Please list"+strings.TrimPrefix(q, "List"))
+	case strings.HasPrefix(q, "What is"):
+		out = append(out,
+			"Tell me what"+strings.TrimPrefix(q, "What"),
+			"Find out what"+strings.TrimPrefix(q, "What"))
+	case strings.HasPrefix(q, "Which"):
+		out = append(out,
+			"Find out which"+strings.TrimPrefix(q, "Which"),
+			"Identify which"+strings.TrimPrefix(q, "Which"))
+	case strings.HasPrefix(q, "Among"):
+		out = append(out,
+			"Considering"+strings.TrimPrefix(q, "Among"),
+			"Looking at"+strings.TrimPrefix(q, "Among"))
+	default:
+		out = append(out, "Please answer: "+q, "I would like to know: "+q)
+	}
+	return out
+}
+
+// split partitions the accumulated examples deterministically: of every
+// five consecutive examples, three go to train and two to dev. Because
+// template instantiation interleaves parameter values, every dev question
+// has same-template siblings in train — the property SEED's few-shot
+// selection exploits, as real BIRD's train/dev overlap in question shape
+// does.
+func (b *builder) split() (train, dev []Example) {
+	for i, e := range b.examples {
+		if i%5 < 3 {
+			train = append(train, e)
+		} else {
+			dev = append(dev, e)
+		}
+	}
+	return train, dev
+}
+
+// split3 additionally carves out a test split (Spider publishes one; BIRD's
+// is hidden): of every five examples, three go to train, one to dev, one to
+// test.
+func (b *builder) split3() (train, dev, test []Example) {
+	for i, e := range b.examples {
+		switch {
+		case i%5 < 3:
+			train = append(train, e)
+		case i%5 == 3:
+			dev = append(dev, e)
+		default:
+			test = append(test, e)
+		}
+	}
+	return train, dev, test
+}
+
+// --- Atom constructors ---
+
+// valueMapAtom builds a value-illustration atom: term denotes a cryptic
+// code documented in the description file. The naive mistake is using the
+// NL term itself as the value.
+func valueMapAtom(term, table, column, code, naive string) Atom {
+	return Atom{
+		Kind:         ValueMap,
+		Term:         term,
+		Clause:       fmt.Sprintf("%s refers to %s = '%s'", term, column, code),
+		CorrectFrag:  "'" + code + "'",
+		WrongFrag:    "'" + naive + "'",
+		Guess:        0.32,
+		Table:        table,
+		Column:       column,
+		Value:        code,
+		DocDerivable: true,
+	}
+}
+
+// synonymAtom builds a synonym atom: term is a synonym of a stored value
+// ("women" -> 'F'). Models guess these moderately often; value sampling
+// resolves them reliably.
+func synonymAtom(term, table, column, value, naive string) Atom {
+	return Atom{
+		Kind:           Synonym,
+		Term:           term,
+		Clause:         fmt.Sprintf("%s refers to %s = '%s'", term, column, value),
+		CorrectFrag:    "'" + value + "'",
+		WrongFrag:      "'" + naive + "'",
+		Guess:          0.68,
+		Table:          table,
+		Column:         column,
+		Value:          value,
+		DocDerivable:   true,
+		ValueDerivable: true,
+	}
+}
+
+// thresholdAtom builds a domain-knowledge atom: a range documented only in
+// the description file ("normal range: N < 52" -> HCT >= 52).
+func thresholdAtom(term, table, column, correct, wrong string) Atom {
+	return Atom{
+		Kind:         Threshold,
+		Term:         term,
+		Clause:       fmt.Sprintf("%s refers to %s", term, correct),
+		CorrectFrag:  correct,
+		WrongFrag:    wrong,
+		Guess:        0.25,
+		Table:        table,
+		Column:       column,
+		DocDerivable: true,
+	}
+}
+
+// formulaAtom builds a numeric-reasoning atom: a calculation convention
+// that lives in neither schema nor data; only few-shot exemplars (or human
+// evidence) supply it.
+func formulaAtom(term, correct, wrong string) Atom {
+	return Atom{
+		Kind:        Formula,
+		Term:        term,
+		Clause:      fmt.Sprintf("%s refers to %s", term, correct),
+		CorrectFrag: correct,
+		WrongFrag:   wrong,
+		Guess:       0.45,
+	}
+}
+
+// columnAtom builds a column-binding atom: the term (usually a literal
+// value like "Fremont") must be located in the right column. Sampling
+// database values resolves it.
+func columnAtom(term, table, correctCol, wrongCol string) Atom {
+	return Atom{
+		Kind:           ColumnRef,
+		Term:           term,
+		Clause:         fmt.Sprintf("%s refers to %s", term, correctCol),
+		CorrectFrag:    correctCol,
+		WrongFrag:      wrongCol,
+		Guess:          0.65,
+		Table:          table,
+		Column:         correctCol,
+		Value:          term,
+		ValueDerivable: true,
+	}
+}
+
+// joinAtom builds a join-path atom. BIRD gold evidence leaves joins
+// implicit (generators resolve them from foreign keys most of the time);
+// SEED's deepseek variant spells them out, which is the Table VI format
+// difference CHESS reacts badly to.
+func joinAtom(childTable, childCol, parentTable, parentCol string) Atom {
+	correct := fmt.Sprintf("%s.%s = %s.%s", childTable, childCol, parentTable, parentCol)
+	wrong := fmt.Sprintf("%s.%s = %s.%s", childTable, childCol, parentTable, childCol)
+	return Atom{
+		Kind:        JoinPath,
+		Term:        childTable + " with " + parentTable,
+		Clause:      "join on " + correct,
+		CorrectFrag: correct,
+		WrongFrag:   wrong,
+		Guess:       0.93,
+		Table:       childTable,
+		Column:      childCol,
+		Table2:      parentTable,
+	}
+}

@@ -1,0 +1,298 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/llm"
+)
+
+// DefectType enumerates the evidence defect taxonomy the paper measured in
+// the BIRD development set (Fig. 2 and Table I): 9.65% of pairs lack
+// evidence entirely and 6.84% carry one of eight error types.
+type DefectType int
+
+// Defect types. DefectNone marks clean evidence.
+const (
+	DefectNone DefectType = iota
+	DefectMissing
+	DefectIncorrectCalc
+	DefectTypo
+	DefectUnnecessary
+	DefectCaseSensitivity
+	DefectDateFormat
+	DefectSchemaSelection
+	DefectValueMapping
+	DefectComparisonOp
+)
+
+// String names the defect as the paper does.
+func (d DefectType) String() string {
+	switch d {
+	case DefectNone:
+		return "none"
+	case DefectMissing:
+		return "missing evidence"
+	case DefectIncorrectCalc:
+		return "incorrect calculation"
+	case DefectTypo:
+		return "typo"
+	case DefectUnnecessary:
+		return "unnecessary information"
+	case DefectCaseSensitivity:
+		return "case-sensitivity issue"
+	case DefectDateFormat:
+		return "invalid date format"
+	case DefectSchemaSelection:
+		return "incorrect schema selection"
+	case DefectValueMapping:
+		return "invalid value mapping"
+	case DefectComparisonOp:
+		return "comparison operator misuse"
+	default:
+		return fmt.Sprintf("DefectType(%d)", int(d))
+	}
+}
+
+// ErroneousTypes lists the eight error types (everything except none and
+// missing), in the order the defect injector cycles through them.
+func ErroneousTypes() []DefectType {
+	return []DefectType{
+		DefectIncorrectCalc, DefectTypo, DefectUnnecessary,
+		DefectCaseSensitivity, DefectDateFormat, DefectSchemaSelection,
+		DefectValueMapping, DefectComparisonOp,
+	}
+}
+
+// Paper-measured defect rates on the BIRD dev set (1,534 pairs: 148
+// missing, 105 erroneous).
+const (
+	MissingRate   = 0.0965
+	ErroneousRate = 0.0684
+)
+
+// InjectDefects corrupts the Evidence field of dev examples in place so
+// that the split reproduces the paper's measured defect rates exactly
+// (quota-based: round(rate x len(dev)) examples per bucket, like the
+// paper's census of 148 missing and 105 erroneous out of 1,534). Injection
+// is deterministic for a given seed. Examples whose evidence cannot host a
+// requested error type fall back to the next applicable type.
+func InjectDefects(dev []Example, seed uint64) {
+	rng := llm.NewRand(seed)
+	var eligible []int
+	for i := range dev {
+		dev[i].Defect = DefectNone
+		dev[i].Evidence = dev[i].CleanEvidence
+		if dev[i].CleanEvidence != "" {
+			eligible = append(eligible, i)
+		}
+	}
+	// Deterministic Fisher-Yates shuffle of the eligible indices.
+	for i := len(eligible) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		eligible[i], eligible[j] = eligible[j], eligible[i]
+	}
+	missingTarget := int(math.Round(MissingRate * float64(len(dev))))
+	errTarget := int(math.Round(ErroneousRate * float64(len(dev))))
+
+	idx := 0
+	for n := 0; n < missingTarget && idx < len(eligible); n++ {
+		e := &dev[eligible[idx]]
+		idx++
+		e.Defect = DefectMissing
+		e.Evidence = ""
+	}
+	types := ErroneousTypes()
+	typeIdx := 0
+	applied := 0
+	for applied < errTarget && idx < len(eligible) {
+		e := &dev[eligible[idx]]
+		idx++
+		for tries := 0; tries < len(types); tries++ {
+			dt := types[typeIdx%len(types)]
+			typeIdx++
+			if corrupted, ok := applyDefect(e, dt, rng); ok {
+				e.Defect = dt
+				e.Evidence = corrupted
+				applied++
+				break
+			}
+		}
+	}
+}
+
+// applyDefect produces a corrupted variant of e's clean evidence for the
+// given defect type, or reports that the type does not apply.
+func applyDefect(e *Example, dt DefectType, rng *llm.Rand) (string, bool) {
+	ev := e.CleanEvidence
+	if ev == "" {
+		return "", false
+	}
+	switch dt {
+	case DefectCaseSensitivity:
+		// Flip the case of a quoted value literal: 'Restricted' ->
+		// 'restricted'. Only applies when some quoted alphabetic literal
+		// exists and case actually changes.
+		return flipQuotedCase(ev)
+	case DefectTypo:
+		return injectTypo(ev, rng)
+	case DefectUnnecessary:
+		// Append a pile of irrelevant mapping clauses, like the element
+		// list in the paper's Table I example.
+		extra := "; element = 'cl' means Chlorine; element = 'c' means Carbon; element = 'h' means Hydrogen; element = 'o' means Oxygen; element = 's' means Sulfur; element = 'n' means Nitrogen; element = 'p' means Phosphorus; element = 'na' means Sodium"
+		return ev + extra, true
+	case DefectIncorrectCalc:
+		// Swap an arithmetic operator inside a formula clause.
+		for _, sub := range []struct{ from, to string }{{" / ", " * "}, {" * ", " / "}, {" + ", " - "}, {" - ", " + "}} {
+			if strings.Contains(ev, sub.from) {
+				return strings.Replace(ev, sub.from, sub.to, 1), true
+			}
+		}
+		return "", false
+	case DefectDateFormat:
+		// Rewrite an ISO date literal to a slash format the engine's
+		// STRFTIME and comparisons will not match.
+		return reformatDate(ev)
+	case DefectSchemaSelection:
+		// Point a clause at the wrong column using the atom's WrongFrag.
+		for _, a := range e.Atoms {
+			if a.Kind == ColumnRef || a.Kind == Threshold {
+				continue
+			}
+			if a.Clause != "" && a.Column != "" && strings.Contains(ev, a.CorrectFrag) {
+				wrong := strings.Replace(a.CorrectFrag, a.Column, wrongColumnName(a.Column), 1)
+				if wrong != a.CorrectFrag {
+					return strings.Replace(ev, a.CorrectFrag, wrong, 1), true
+				}
+			}
+		}
+		return "", false
+	case DefectValueMapping:
+		// Replace a quoted value with a different (wrong) literal.
+		for _, a := range e.Atoms {
+			if a.Value == "" || !strings.Contains(ev, "'"+a.Value+"'") {
+				continue
+			}
+			return strings.Replace(ev, "'"+a.Value+"'", "'"+scrambleValue(a.Value)+"'", 1), true
+		}
+		return "", false
+	case DefectComparisonOp:
+		for _, sub := range []struct{ from, to string }{{" >= ", " <= "}, {" <= ", " >= "}, {" > ", " < "}, {" < ", " > "}} {
+			if strings.Contains(ev, sub.from) {
+				return strings.Replace(ev, sub.from, sub.to, 1), true
+			}
+		}
+		return "", false
+	}
+	return "", false
+}
+
+func flipQuotedCase(ev string) (string, bool) {
+	i := strings.Index(ev, "'")
+	for i >= 0 {
+		j := strings.Index(ev[i+1:], "'")
+		if j < 0 {
+			break
+		}
+		val := ev[i+1 : i+1+j]
+		if hasLetter(val) {
+			var flipped string
+			if val == strings.ToLower(val) {
+				flipped = strings.ToUpper(val[:1]) + val[1:]
+			} else {
+				flipped = strings.ToLower(val)
+			}
+			if flipped != val {
+				return ev[:i+1] + flipped + ev[i+1+j:], true
+			}
+		}
+		next := strings.Index(ev[i+1+j+1:], "'")
+		if next < 0 {
+			break
+		}
+		i = i + 1 + j + 1 + next
+	}
+	return "", false
+}
+
+func injectTypo(ev string, rng *llm.Rand) (string, bool) {
+	words := strings.Fields(ev)
+	// Find a reasonably long bare word to corrupt.
+	for attempt := 0; attempt < 8; attempt++ {
+		idx := rng.Intn(len(words))
+		w := words[idx]
+		if len(w) >= 5 && hasLetter(w) && !strings.ContainsAny(w, "'\"=<>") {
+			pos := 1 + rng.Intn(len(w)-2)
+			words[idx] = w[:pos] + w[pos+1:] // drop a letter
+			return strings.Join(words, " "), true
+		}
+	}
+	return "", false
+}
+
+func reformatDate(ev string) (string, bool) {
+	// Find YYYY-MM-DD inside quotes and flip to MM/DD/YYYY.
+	for i := 0; i+12 <= len(ev); i++ {
+		if ev[i] == '\'' && i+11 < len(ev) && ev[i+11] == '\'' {
+			d := ev[i+1 : i+11]
+			if len(d) == 10 && d[4] == '-' && d[7] == '-' && allDigits(d[:4]) && allDigits(d[5:7]) && allDigits(d[8:10]) {
+				reformatted := d[5:7] + "/" + d[8:10] + "/" + d[:4]
+				return ev[:i+1] + reformatted + ev[i+11:], true
+			}
+		}
+	}
+	return "", false
+}
+
+func wrongColumnName(col string) string {
+	// A neighbouring-sounding but wrong column, mirroring the paper's
+	// "full name" vs "superhero name" confusion.
+	switch {
+	case strings.Contains(strings.ToLower(col), "name"):
+		return "id"
+	case strings.HasSuffix(col, "_id"):
+		return strings.TrimSuffix(col, "_id")
+	default:
+		return col + "_id"
+	}
+}
+
+func scrambleValue(v string) string {
+	if len(v) <= 1 {
+		return v + "X"
+	}
+	// Swap first two characters; if that is a no-op, append a marker.
+	if v[0] != v[1] {
+		return string(v[1]) + string(v[0]) + v[2:]
+	}
+	return v + "X"
+}
+
+func hasLetter(s string) bool {
+	for _, r := range s {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// AuditDefects tallies the defect distribution of a dev split, reproducing
+// the Fig. 2 census.
+func AuditDefects(dev []Example) map[DefectType]int {
+	out := make(map[DefectType]int)
+	for _, e := range dev {
+		out[e.Defect]++
+	}
+	return out
+}

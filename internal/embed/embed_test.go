@@ -1,0 +1,81 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedDeterministic(t *testing.T) {
+	m := NewModel()
+	a := m.Embed("How many schools are in Alameda county?")
+	b := m.Embed("How many schools are in Alameda county?")
+	if a != b {
+		t.Error("identical text must embed identically")
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	m := NewModel()
+	v := m.Embed("weekly issuance accounts with a loan under 200000")
+	var sq float64
+	for _, x := range v {
+		sq += float64(x) * float64(x)
+	}
+	if math.Abs(sq-1) > 1e-4 {
+		t.Errorf("norm^2 = %v, want 1", sq)
+	}
+}
+
+func TestCosineSelfIsOne(t *testing.T) {
+	m := NewModel()
+	v := m.Embed("List the elements with double bonds")
+	if c := Cosine(v, v); math.Abs(c-1) > 1e-4 {
+		t.Errorf("self-cosine = %v", c)
+	}
+}
+
+func TestSimilarQuestionsRankHigher(t *testing.T) {
+	m := NewModel()
+	query := "How many clients opened their accounts in Jesenik branch were women?"
+	candidates := []string{
+		"How many clients opened accounts in the Pisek branch were men?", // near-duplicate
+		"List all molecules with double bonds",                           // unrelated
+		"What is the highest eligible free rate in Alameda county?",      // unrelated
+	}
+	order := m.Rank(query, candidates)
+	if order[0] != 0 {
+		t.Errorf("near-duplicate should rank first, got order %v", order)
+	}
+}
+
+func TestRankStableUnderTies(t *testing.T) {
+	m := NewModel()
+	order := m.Rank("zzz unrelated", []string{"same text", "same text", "same text"})
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Errorf("tie-breaking should preserve index order: %v", order)
+	}
+}
+
+// Property: cosine of any two embeddings stays within [-1, 1] + epsilon.
+func TestCosineBounds(t *testing.T) {
+	m := NewModel()
+	f := func(a, b string) bool {
+		c := Cosine(m.Embed(a), m.Embed(b))
+		return c <= 1.0001 && c >= -1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: embedding is invariant to trivial whitespace padding.
+func TestEmbedWhitespaceInvariant(t *testing.T) {
+	m := NewModel()
+	f := func(s string) bool {
+		return m.Embed(s) == m.Embed("  "+s+"  ")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+// Package eval implements the paper's two metrics — execution accuracy
+// (EX) and the valid efficiency score (VES) — plus a concurrent evaluation
+// runner that measures a text-to-SQL generator over a corpus split under a
+// configurable evidence condition (§IV-B).
+//
+// EX compares execution results rather than SQL text, so semantically
+// equivalent queries score as correct. VES extends EX by weighting each
+// correct query with R = sqrt(cost_gold / cost_predicted); the engine's
+// deterministic rows-touched cost stands in for wall-clock time.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/schema"
+	"repro/internal/sqlengine"
+	"repro/internal/texttosql"
+)
+
+// ResultsEqual compares two result sets. When ordered is true row order
+// matters (the gold query has ORDER BY); otherwise rows compare as
+// multisets, the BIRD convention.
+func ResultsEqual(gold, pred *sqlengine.Rows, ordered bool) bool {
+	if len(gold.Data) != len(pred.Data) {
+		return false
+	}
+	if len(gold.Data) > 0 && len(gold.Data[0]) != len(pred.Data[0]) {
+		return false
+	}
+	gk := rowKeys(gold)
+	pk := rowKeys(pred)
+	if !ordered {
+		sort.Strings(gk)
+		sort.Strings(pk)
+	}
+	for i := range gk {
+		if gk[i] != pk[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func rowKeys(rows *sqlengine.Rows) []string {
+	out := make([]string, len(rows.Data))
+	for i, r := range rows.Data {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.Key())
+			sb.WriteByte(0)
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+// Outcome is the evaluation of one predicted query.
+type Outcome struct {
+	Correct bool
+	// R is the efficiency ratio sqrt(goldCost/predCost); zero when the
+	// prediction is incorrect or fails to execute.
+	R float64
+	// ExecError records a prediction that failed to parse or execute.
+	ExecError bool
+}
+
+// Judge evaluates one prediction against an example's gold query.
+type Judge struct {
+	mu   sync.Mutex
+	gold map[string]*goldEntry
+}
+
+type goldEntry struct {
+	rows    *sqlengine.Rows
+	cost    int64
+	ordered bool
+	err     error
+}
+
+// NewJudge returns a Judge with an empty gold-result cache.
+func NewJudge() *Judge {
+	return &Judge{gold: make(map[string]*goldEntry)}
+}
+
+// goldFor executes (and caches) the example's gold query.
+func (j *Judge) goldFor(db *schema.DB, e dataset.Example) *goldEntry {
+	j.mu.Lock()
+	entry, ok := j.gold[e.ID]
+	j.mu.Unlock()
+	if ok {
+		return entry
+	}
+	entry = &goldEntry{
+		ordered: strings.Contains(strings.ToUpper(e.GoldSQL), "ORDER BY"),
+	}
+	res, err := db.Engine.Exec(e.GoldSQL)
+	if err != nil {
+		entry.err = err
+	} else {
+		entry.rows = res.Rows
+		entry.cost = res.Cost
+		if entry.cost < 1 {
+			entry.cost = 1
+		}
+	}
+	j.mu.Lock()
+	j.gold[e.ID] = entry
+	j.mu.Unlock()
+	return entry
+}
+
+// Score evaluates a predicted SQL string for an example.
+func (j *Judge) Score(db *schema.DB, e dataset.Example, predSQL string) Outcome {
+	gold := j.goldFor(db, e)
+	if gold.err != nil {
+		// A broken gold query is a corpus bug; treat the pair as wrong
+		// rather than crashing an entire run.
+		return Outcome{}
+	}
+	res, err := db.Engine.Exec(predSQL)
+	if err != nil || res.Rows == nil {
+		return Outcome{ExecError: true}
+	}
+	if !ResultsEqual(gold.rows, res.Rows, gold.ordered) {
+		return Outcome{}
+	}
+	predCost := res.Cost
+	if predCost < 1 {
+		predCost = 1
+	}
+	return Outcome{Correct: true, R: math.Sqrt(float64(gold.cost) / float64(predCost))}
+}
+
+// Metrics aggregates outcomes over a split.
+type Metrics struct {
+	// N is the number of evaluated examples.
+	N int
+	// Correct is the number of execution-accurate predictions.
+	Correct int
+	// EX is execution accuracy in percent.
+	EX float64
+	// VES is the valid efficiency score in percent.
+	VES float64
+	// ExecErrors counts predictions that failed to parse or execute.
+	ExecErrors int
+	// GenErrors counts generator failures (no SQL produced).
+	GenErrors int
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("EX=%.2f%% VES=%.2f%% (n=%d, execErr=%d, genErr=%d)",
+		m.EX, m.VES, m.N, m.ExecErrors, m.GenErrors)
+}
+
+// EvidenceFunc supplies the evidence for one example under the current
+// experimental condition: none, BIRD-provided, SEED-generated, revised...
+type EvidenceFunc func(e dataset.Example) string
+
+// NoEvidence is the w/o-evidence condition.
+func NoEvidence(dataset.Example) string { return "" }
+
+// ProvidedEvidence is the w/-evidence condition: whatever the corpus
+// shipped with the example (possibly defective on dev).
+func ProvidedEvidence(e dataset.Example) string { return e.Evidence }
+
+// CleanEvidenceOf is the corrected-evidence condition used by the
+// Table II experiment.
+func CleanEvidenceOf(e dataset.Example) string { return e.CleanEvidence }
+
+// FromMap serves precomputed evidence (SEED output) by example ID.
+func FromMap(m map[string]string) EvidenceFunc {
+	return func(e dataset.Example) string { return m[e.ID] }
+}
+
+// Runner evaluates generators over a corpus concurrently.
+type Runner struct {
+	Corpus *dataset.Corpus
+	Judge  *Judge
+	// Workers caps evaluation concurrency; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// NewRunner builds a runner with a fresh judge.
+func NewRunner(corpus *dataset.Corpus) *Runner {
+	return &Runner{Corpus: corpus, Judge: NewJudge()}
+}
+
+// Evaluate runs the generator over the examples under the evidence
+// condition and aggregates metrics.
+func (r *Runner) Evaluate(gen texttosql.Generator, examples []dataset.Example, evidence EvidenceFunc) Metrics {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outcomes := make([]Outcome, len(examples))
+	genErrs := make([]bool, len(examples))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range examples {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			e := examples[i]
+			db, ok := r.Corpus.DB(e.DB)
+			if !ok {
+				genErrs[i] = true
+				return
+			}
+			sql, err := gen.Generate(texttosql.Task{Example: e, DB: db, Evidence: evidence(e)})
+			if err != nil {
+				genErrs[i] = true
+				return
+			}
+			outcomes[i] = r.Judge.Score(db, e, sql)
+		}(i)
+	}
+	wg.Wait()
+
+	var m Metrics
+	m.N = len(examples)
+	var ves float64
+	for i, o := range outcomes {
+		if genErrs[i] {
+			m.GenErrors++
+			continue
+		}
+		if o.ExecError {
+			m.ExecErrors++
+		}
+		if o.Correct {
+			m.Correct++
+			ves += o.R
+		}
+	}
+	if m.N > 0 {
+		m.EX = 100 * float64(m.Correct) / float64(m.N)
+		m.VES = 100 * ves / float64(m.N)
+	}
+	return m
+}

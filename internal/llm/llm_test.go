@@ -1,0 +1,189 @@
+package llm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func echoTask(prompt string, m Model, rng *Rand) (string, error) {
+	return "echo: " + prompt, nil
+}
+
+func TestLookup(t *testing.T) {
+	m, err := Lookup("deepseek-r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ContextWindow != 8192 {
+		t.Errorf("deepseek-r1 window = %d, want 8192 (the paper's stated API cap)", m.ContextWindow)
+	}
+	if _, err := Lookup("gpt-99"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestCompleteDeterministic(t *testing.T) {
+	sim := NewSimulator()
+	task := func(prompt string, m Model, rng *Rand) (string, error) {
+		if rng.Chance(0.5) {
+			return "heads", nil
+		}
+		return "tails", nil
+	}
+	req := Request{Model: "gpt-4o", Prompt: "flip", Task: task}
+	r1, err := sim.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Complete(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Text != r2.Text {
+		t.Errorf("same request must give same response: %q vs %q", r1.Text, r2.Text)
+	}
+	// Different salt draws independent noise; over many salts both outcomes
+	// appear.
+	seen := map[string]bool{}
+	for _, salt := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		r, err := sim.Complete(Request{Model: "gpt-4o", Prompt: "flip", Salt: salt, Task: task})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[r.Text] = true
+	}
+	if !seen["heads"] || !seen["tails"] {
+		t.Errorf("salted calls should vary: %v", seen)
+	}
+}
+
+func TestContextOverflowError(t *testing.T) {
+	sim := NewSimulator()
+	long := strings.Repeat("schema column_name TEXT ", 4000) // ~16k tokens
+	_, err := sim.Complete(Request{Model: "deepseek-r1", Prompt: long, Task: echoTask})
+	if !errors.Is(err, ErrContextOverflow) {
+		t.Fatalf("want ErrContextOverflow, got %v", err)
+	}
+	// Same prompt fits comfortably in gpt-4o.
+	if _, err := sim.Complete(Request{Model: "gpt-4o", Prompt: long, Task: echoTask}); err != nil {
+		t.Fatalf("gpt-4o should accept: %v", err)
+	}
+}
+
+func TestTruncationLosesInformation(t *testing.T) {
+	sim := NewSimulator()
+	needle := "NEEDLE_AT_FRONT"
+	long := needle + " " + strings.Repeat("filler ", 9000)
+	resp, err := sim.Complete(Request{Model: "deepseek-r1", Prompt: long, Policy: TruncateHead, Task: echoTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Truncated {
+		t.Error("response should be flagged truncated")
+	}
+	if strings.Contains(resp.Text, needle) {
+		t.Error("head truncation must drop the front of the prompt")
+	}
+	// Tail policy keeps the needle.
+	resp, err = sim.Complete(Request{Model: "deepseek-r1", Prompt: long, Policy: TruncateTail, Task: echoTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resp.Text, needle) {
+		t.Error("tail truncation must keep the front of the prompt")
+	}
+	if got := CountTokens(strings.TrimPrefix(resp.Text, "echo: ")); got > 8192 {
+		t.Errorf("truncated prompt still over window: %d tokens", got)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	sim := NewSimulator()
+	for i := 0; i < 3; i++ {
+		if _, err := sim.Complete(Request{Model: "gpt-4o-mini", Prompt: "hello world", Task: echoTask}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	led := sim.LedgerSnapshot()
+	u := led.PerModel["gpt-4o-mini"]
+	if u.Calls != 3 {
+		t.Errorf("calls = %d, want 3", u.Calls)
+	}
+	if u.PromptTokens != 3*CountTokens("hello world") {
+		t.Errorf("prompt tokens = %d", u.PromptTokens)
+	}
+	if led.TotalCalls() != 3 {
+		t.Errorf("TotalCalls = %d", led.TotalCalls())
+	}
+	sim.ResetLedger()
+	if sim.LedgerSnapshot().TotalCalls() != 0 {
+		t.Error("ResetLedger should clear usage")
+	}
+}
+
+func TestMissingTask(t *testing.T) {
+	sim := NewSimulator()
+	if _, err := sim.Complete(Request{Model: "gpt-4o", Prompt: "x"}); err == nil {
+		t.Error("nil task should error")
+	}
+}
+
+func TestCountTokens(t *testing.T) {
+	if CountTokens("") != 0 {
+		t.Error("empty string has 0 tokens")
+	}
+	if CountTokens("one two three") != 3 {
+		t.Errorf("short words are 1 token each: %d", CountTokens("one two three"))
+	}
+	long := CountTokens("antidisestablishmentarianism")
+	if long < 2 {
+		t.Errorf("long words cost more than 1 token: %d", long)
+	}
+}
+
+// Property: token count is additive across concatenation with a space.
+func TestCountTokensAdditive(t *testing.T) {
+	f := func(a, b string) bool {
+		a = strings.Join(strings.Fields(a), " ")
+		b = strings.Join(strings.Fields(b), " ")
+		if a == "" || b == "" {
+			return true
+		}
+		return CountTokens(a+" "+b) == CountTokens(a)+CountTokens(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Rand.Float64 stays in [0,1) and is reproducible per seed.
+func TestRandProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r1, r2 := NewRand(seed), NewRand(seed)
+		for i := 0; i < 16; i++ {
+			v1, v2 := r1.Float64(), r2.Float64()
+			if v1 != v2 || v1 < 0 || v1 >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandChanceExtremes(t *testing.T) {
+	r := NewRand(42)
+	if r.Chance(0) {
+		t.Error("Chance(0) must be false")
+	}
+	if !r.Chance(1) {
+		t.Error("Chance(1) must be true")
+	}
+	if r.Pick(0) != -1 {
+		t.Error("Pick(0) = -1")
+	}
+}

@@ -1,0 +1,241 @@
+// Package schema models a database together with its BIRD-style
+// description files: per-table CSVs documenting column meanings, value
+// codes and domain ranges. SEED's evidence generation (paper §III) reads
+// exactly three information sources — the schema, the description files and
+// sampled values — and this package is the first two.
+package schema
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqlengine"
+)
+
+// ColumnDoc is the description-file entry for one column, mirroring BIRD's
+// database_description CSVs (original_column_name, column_description,
+// value_description).
+type ColumnDoc struct {
+	// Column is the schema column name this entry documents.
+	Column string
+	// FullName is the expanded natural-language name, e.g. "free meal
+	// count" for FreeMealCount.
+	FullName string
+	// Description explains the column's meaning.
+	Description string
+	// ValueMap maps stored codes to their meanings, e.g.
+	// "POPLATEK TYDNE" -> "weekly issuance". Rendered into the
+	// value_description field.
+	ValueMap map[string]string
+	// Range documents a domain range, e.g. "Normal range: 29 < N < 52".
+	Range string
+}
+
+// ValueDescription renders the value-description cell: the code/meaning
+// pairs plus the range note, matching the free-text style of BIRD files.
+func (cd *ColumnDoc) ValueDescription() string {
+	var parts []string
+	codes := make([]string, 0, len(cd.ValueMap))
+	for c := range cd.ValueMap {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("'%s' stands for %s", c, cd.ValueMap[c]))
+	}
+	if cd.Range != "" {
+		parts = append(parts, cd.Range)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// TableDoc is the description file for one table.
+type TableDoc struct {
+	Table       string
+	Description string
+	Columns     []ColumnDoc
+}
+
+// ColumnDoc returns the entry for the named column, if present.
+func (td *TableDoc) ColumnDoc(column string) (*ColumnDoc, bool) {
+	for i := range td.Columns {
+		if strings.EqualFold(td.Columns[i].Column, column) {
+			return &td.Columns[i], true
+		}
+	}
+	return nil, false
+}
+
+// CSV renders the table description as a BIRD-style CSV file.
+func (td *TableDoc) CSV() string {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	_ = w.Write([]string{"original_column_name", "column_name", "column_description", "value_description"})
+	for _, c := range td.Columns {
+		_ = w.Write([]string{c.Column, c.FullName, c.Description, c.ValueDescription()})
+	}
+	w.Flush()
+	return buf.String()
+}
+
+// ParseTableDocCSV parses a CSV produced by TableDoc.CSV (or an equivalent
+// hand-written file) back into a TableDoc for the named table.
+func ParseTableDocCSV(table, data string) (*TableDoc, error) {
+	r := csv.NewReader(strings.NewReader(data))
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("schema: parsing description CSV for %s: %w", table, err)
+	}
+	td := &TableDoc{Table: table}
+	for i, rec := range records {
+		if i == 0 || len(rec) < 4 {
+			continue // header
+		}
+		doc := ColumnDoc{Column: rec[0], FullName: rec[1], Description: rec[2]}
+		doc.ValueMap = parseValueDescription(rec[3], &doc.Range)
+		td.Columns = append(td.Columns, doc)
+	}
+	return td, nil
+}
+
+func parseValueDescription(s string, rangeOut *string) map[string]string {
+	var vm map[string]string
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if strings.Contains(part, " stands for ") && strings.HasPrefix(part, "'") {
+			rest := part[1:]
+			q := strings.Index(rest, "'")
+			if q < 0 {
+				continue
+			}
+			code := rest[:q]
+			meaning := strings.TrimPrefix(rest[q+1:], " stands for ")
+			if vm == nil {
+				vm = make(map[string]string)
+			}
+			vm[code] = meaning
+			continue
+		}
+		if *rangeOut == "" {
+			*rangeOut = part
+		}
+	}
+	return vm
+}
+
+// DB bundles an executable database with its documentation. Descriptions
+// may be nil for Spider-style corpora that ship no description files.
+type DB struct {
+	Name   string
+	Engine *sqlengine.Database
+	// Docs maps lower-cased table names to their description files.
+	Docs map[string]*TableDoc
+}
+
+// NewDB wraps an engine database with empty documentation.
+func NewDB(engine *sqlengine.Database) *DB {
+	return &DB{Name: engine.Name, Engine: engine, Docs: make(map[string]*TableDoc)}
+}
+
+// Doc returns the description file for a table, if any.
+func (d *DB) Doc(table string) (*TableDoc, bool) {
+	td, ok := d.Docs[strings.ToLower(table)]
+	return td, ok
+}
+
+// SetDoc installs a table's description file.
+func (d *DB) SetDoc(td *TableDoc) {
+	d.Docs[strings.ToLower(td.Table)] = td
+}
+
+// HasDescriptions reports whether any table carries a description file.
+func (d *DB) HasDescriptions() bool { return len(d.Docs) > 0 }
+
+// DDL serialises the full schema as CREATE TABLE statements — the
+// representation SEED and the baselines place in prompts.
+func (d *DB) DDL() string {
+	var b strings.Builder
+	for _, t := range d.Engine.Tables() {
+		b.WriteString(TableDDL(t))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TableDDL renders one table's CREATE TABLE statement, including foreign
+// keys (the join hints SEED's deepseek variant echoes into evidence).
+func TableDDL(t *sqlengine.Table) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (\n", quote(t.Name))
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "  %s %s", quote(c.Name), c.Type)
+		if c.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+		if i < len(t.Columns)-1 || len(t.ForeignKeys) > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	for i, fk := range t.ForeignKeys {
+		fmt.Fprintf(&b, "  FOREIGN KEY (%s) REFERENCES %s(%s)", quote(fk.Column), quote(fk.ParentTable), quote(fk.ParentColumn))
+		if i < len(t.ForeignKeys)-1 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString(");")
+	return b.String()
+}
+
+// PromptText renders the schema plus description files as the prompt block
+// SEED feeds its base model. With sampled values appended by the caller it
+// matches the evidence-generation prompt structure of Fig. 3.
+func (d *DB) PromptText(includeDocs bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "-- Database: %s\n", d.Name)
+	b.WriteString(d.DDL())
+	if includeDocs && d.HasDescriptions() {
+		b.WriteString("\n-- Description files:\n")
+		for _, t := range d.Engine.Tables() {
+			if td, ok := d.Doc(t.Name); ok {
+				fmt.Fprintf(&b, "-- %s.csv\n%s", td.Table, td.CSV())
+			}
+		}
+	}
+	return b.String()
+}
+
+// ForeignKeyOf looks up the foreign key linking childTable to parentTable,
+// if declared.
+func (d *DB) ForeignKeyOf(childTable, parentTable string) (sqlengine.ForeignKeyDef, bool) {
+	t, ok := d.Engine.Table(childTable)
+	if !ok {
+		return sqlengine.ForeignKeyDef{}, false
+	}
+	for _, fk := range t.ForeignKeys {
+		if strings.EqualFold(fk.ParentTable, parentTable) {
+			return fk, true
+		}
+	}
+	return sqlengine.ForeignKeyDef{}, false
+}
+
+func quote(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return "`" + s + "`"
+		}
+	}
+	return s
+}

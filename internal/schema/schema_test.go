@@ -1,0 +1,134 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sqlengine"
+)
+
+func testDB(t *testing.T) *DB {
+	t.Helper()
+	eng := sqlengine.NewDatabase("bank")
+	eng.MustExec(`CREATE TABLE account (
+		account_id INTEGER PRIMARY KEY,
+		frequency TEXT,
+		district_id INTEGER,
+		FOREIGN KEY (district_id) REFERENCES district(district_id)
+	)`)
+	eng.MustExec(`CREATE TABLE district (district_id INTEGER PRIMARY KEY, A2 TEXT)`)
+	db := NewDB(eng)
+	db.SetDoc(&TableDoc{
+		Table:       "account",
+		Description: "bank accounts",
+		Columns: []ColumnDoc{
+			{Column: "account_id", FullName: "account id", Description: "unique id"},
+			{Column: "frequency", FullName: "frequency", Description: "issuance frequency",
+				ValueMap: map[string]string{
+					"POPLATEK TYDNE":   "weekly issuance",
+					"POPLATEK MESICNE": "monthly issuance",
+				}},
+		},
+	})
+	return db
+}
+
+func TestDDLContainsTablesAndFKs(t *testing.T) {
+	db := testDB(t)
+	ddl := db.DDL()
+	for _, want := range []string{"CREATE TABLE account", "CREATE TABLE district", "FOREIGN KEY (district_id) REFERENCES district(district_id)", "PRIMARY KEY"} {
+		if !strings.Contains(ddl, want) {
+			t.Errorf("DDL missing %q:\n%s", want, ddl)
+		}
+	}
+	// Rendered DDL must re-parse.
+	for _, stmt := range strings.Split(strings.TrimSpace(ddl), ";") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if _, err := sqlengine.Parse(stmt); err != nil {
+			t.Errorf("DDL does not re-parse: %v\n%s", err, stmt)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := testDB(t)
+	td, ok := db.Doc("account")
+	if !ok {
+		t.Fatal("doc missing")
+	}
+	csv := td.CSV()
+	parsed, err := ParseTableDocCSV("account", csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Columns) != len(td.Columns) {
+		t.Fatalf("round trip lost columns: %d vs %d", len(parsed.Columns), len(td.Columns))
+	}
+	freq, ok := parsed.ColumnDoc("frequency")
+	if !ok {
+		t.Fatal("frequency column lost")
+	}
+	if freq.ValueMap["POPLATEK TYDNE"] != "weekly issuance" {
+		t.Errorf("value map lost in round trip: %v", freq.ValueMap)
+	}
+}
+
+func TestValueDescriptionRendersRangeAndCodes(t *testing.T) {
+	cd := ColumnDoc{
+		Column:   "hct",
+		ValueMap: map[string]string{"H": "high"},
+		Range:    "Normal range: 29 < N < 52",
+	}
+	vd := cd.ValueDescription()
+	if !strings.Contains(vd, "'H' stands for high") || !strings.Contains(vd, "Normal range") {
+		t.Errorf("value description incomplete: %q", vd)
+	}
+}
+
+func TestPromptText(t *testing.T) {
+	db := testDB(t)
+	withDocs := db.PromptText(true)
+	withoutDocs := db.PromptText(false)
+	if !strings.Contains(withDocs, "weekly issuance") {
+		t.Error("prompt with docs must include value descriptions")
+	}
+	if strings.Contains(withoutDocs, "weekly issuance") {
+		t.Error("prompt without docs must not include value descriptions")
+	}
+	if !strings.Contains(withoutDocs, "CREATE TABLE account") {
+		t.Error("prompt must include DDL")
+	}
+}
+
+func TestForeignKeyOf(t *testing.T) {
+	db := testDB(t)
+	fk, ok := db.ForeignKeyOf("account", "district")
+	if !ok || fk.Column != "district_id" || fk.ParentColumn != "district_id" {
+		t.Errorf("ForeignKeyOf = %+v, %v", fk, ok)
+	}
+	if _, ok := db.ForeignKeyOf("district", "account"); ok {
+		t.Error("reverse FK should not exist")
+	}
+	if _, ok := db.ForeignKeyOf("nosuch", "district"); ok {
+		t.Error("unknown table should not report an FK")
+	}
+}
+
+func TestDocLookupCaseInsensitive(t *testing.T) {
+	db := testDB(t)
+	if _, ok := db.Doc("ACCOUNT"); !ok {
+		t.Error("doc lookup should be case-insensitive")
+	}
+	if _, ok := db.Doc("nosuch"); ok {
+		t.Error("unknown table should have no doc")
+	}
+}
+
+func TestParseTableDocCSVMalformed(t *testing.T) {
+	if _, err := ParseTableDocCSV("x", "a,\"unterminated\n"); err == nil {
+		t.Error("malformed CSV should error")
+	}
+}

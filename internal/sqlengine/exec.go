@@ -1,0 +1,856 @@
+package sqlengine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rows is a materialised query result.
+type Rows struct {
+	Columns []string
+	Data    [][]Value
+}
+
+// Result is the outcome of executing any statement. Cost counts the rows the
+// executor touched (scans, join pairs, subquery work); it is the
+// deterministic stand-in for execution time used by the VES metric.
+type Result struct {
+	Rows         *Rows
+	RowsAffected int64
+	Cost         int64
+}
+
+// Exec parses and executes a single statement.
+func (db *Database) Exec(sql string) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(st)
+}
+
+// Query parses and executes a statement that must produce rows.
+func (db *Database) Query(sql string) (*Rows, error) {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res.Rows == nil {
+		return nil, fmt.Errorf("sqlengine: statement produced no result rows")
+	}
+	return res.Rows, nil
+}
+
+// MustExec executes sql and panics on error. Intended for test fixtures and
+// dataset construction where the SQL is program-generated.
+func (db *Database) MustExec(sql string) *Result {
+	res, err := db.Exec(sql)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// ExecStmt executes an already-parsed statement.
+func (db *Database) ExecStmt(st Statement) (*Result, error) {
+	ec := &execCtx{db: db}
+	switch s := st.(type) {
+	case *SelectStmt:
+		rows, err := ec.execSelect(s, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Rows: rows, Cost: ec.cost}, nil
+	case *CreateTableStmt:
+		if _, err := db.createTable(s); err != nil {
+			return nil, err
+		}
+		return &Result{Cost: ec.cost}, nil
+	case *InsertStmt:
+		n, err := ec.execInsert(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: n, Cost: ec.cost}, nil
+	case *UpdateStmt:
+		n, err := ec.execUpdate(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: n, Cost: ec.cost}, nil
+	case *DeleteStmt:
+		n, err := ec.execDelete(s)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{RowsAffected: n, Cost: ec.cost}, nil
+	default:
+		return nil, fmt.Errorf("sqlengine: unsupported statement %T", st)
+	}
+}
+
+// execCtx carries per-execution state: the database and the cost counter.
+type execCtx struct {
+	db   *Database
+	cost int64
+}
+
+// maxCost bounds runaway queries (e.g. accidental cross joins in predicted
+// SQL). Exceeding it aborts execution with an error, which the evaluation
+// harness counts as a failed query.
+const maxCost = 50_000_000
+
+func (ec *execCtx) charge(n int64) error {
+	ec.cost += n
+	if ec.cost > maxCost {
+		return fmt.Errorf("sqlengine: query exceeded cost budget (%d rows touched)", maxCost)
+	}
+	return nil
+}
+
+// scopeCol names one column visible in a row scope; both fields are
+// lower-cased for case-insensitive resolution.
+type scopeCol struct {
+	table string
+	name  string
+}
+
+// scope binds a set of visible columns to one row of values, with a parent
+// link for correlated subqueries.
+type scope struct {
+	cols   []scopeCol
+	row    []Value
+	parent *scope
+}
+
+// resolve finds a column by (optionally qualified) name, walking outward
+// through parent scopes. Ambiguous unqualified references within one scope
+// level are an error, as in SQLite.
+func (s *scope) resolve(table, name string) (Value, error) {
+	lt, ln := strings.ToLower(table), strings.ToLower(name)
+	for cur := s; cur != nil; cur = cur.parent {
+		found := -1
+		for i, c := range cur.cols {
+			if c.name != ln {
+				continue
+			}
+			if lt != "" && c.table != lt {
+				continue
+			}
+			if found >= 0 {
+				return Value{}, fmt.Errorf("sqlengine: ambiguous column name %q", name)
+			}
+			found = i
+		}
+		if found >= 0 {
+			return cur.row[found], nil
+		}
+	}
+	if table != "" {
+		return Value{}, fmt.Errorf("sqlengine: no such column: %s.%s", table, name)
+	}
+	return Value{}, fmt.Errorf("sqlengine: no such column: %s", name)
+}
+
+// rowSet is an intermediate relation during FROM evaluation.
+type rowSet struct {
+	cols []scopeCol
+	rows [][]Value
+}
+
+// --- SELECT execution ---
+
+func (ec *execCtx) execSelect(sel *SelectStmt, outer *scope) (*Rows, error) {
+	if sel.Compound == CompoundNone {
+		return ec.execSelectSimple(sel, outer)
+	}
+	// Compound: evaluate each core without the shared tail, then combine.
+	head, err := ec.execSelectCoreOnly(sel, outer)
+	if err != nil {
+		return nil, err
+	}
+	combined := head
+	for cur := sel; cur.Compound != CompoundNone; cur = cur.Next {
+		next, err := ec.execSelectCoreOnly(cur.Next, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(next.Columns) != len(combined.Columns) {
+			return nil, fmt.Errorf("sqlengine: compound SELECT column count mismatch (%d vs %d)", len(combined.Columns), len(next.Columns))
+		}
+		combined = combineRows(combined, next, cur.Compound)
+	}
+	// Apply the tail (ORDER BY / LIMIT) over the combined output.
+	out := &selOutput{columns: combined.Columns}
+	for _, r := range combined.Data {
+		out.add(r, nil)
+	}
+	if err := ec.finishSelect(sel, out, outer, nil); err != nil {
+		return nil, err
+	}
+	return out.rows(), nil
+}
+
+// execSelectCoreOnly executes one arm of a compound select, ignoring the
+// ORDER BY/LIMIT tail which belongs to the whole compound.
+func (ec *execCtx) execSelectCoreOnly(sel *SelectStmt, outer *scope) (*Rows, error) {
+	clone := *sel
+	clone.Compound = CompoundNone
+	clone.Next = nil
+	clone.OrderBy = nil
+	clone.Limit = nil
+	clone.Offset = nil
+	return ec.execSelectSimple(&clone, outer)
+}
+
+func combineRows(a, b *Rows, op CompoundOp) *Rows {
+	keyOf := func(r []Value) string {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.Key())
+			sb.WriteByte('\x00')
+		}
+		return sb.String()
+	}
+	out := &Rows{Columns: a.Columns}
+	switch op {
+	case CompoundUnionAll:
+		out.Data = append(append(out.Data, a.Data...), b.Data...)
+	case CompoundUnion:
+		seen := make(map[string]bool)
+		for _, r := range append(append([][]Value{}, a.Data...), b.Data...) {
+			k := keyOf(r)
+			if !seen[k] {
+				seen[k] = true
+				out.Data = append(out.Data, r)
+			}
+		}
+	case CompoundExcept:
+		drop := make(map[string]bool)
+		for _, r := range b.Data {
+			drop[keyOf(r)] = true
+		}
+		seen := make(map[string]bool)
+		for _, r := range a.Data {
+			k := keyOf(r)
+			if !drop[k] && !seen[k] {
+				seen[k] = true
+				out.Data = append(out.Data, r)
+			}
+		}
+	case CompoundIntersect:
+		keep := make(map[string]bool)
+		for _, r := range b.Data {
+			keep[keyOf(r)] = true
+		}
+		seen := make(map[string]bool)
+		for _, r := range a.Data {
+			k := keyOf(r)
+			if keep[k] && !seen[k] {
+				seen[k] = true
+				out.Data = append(out.Data, r)
+			}
+		}
+	}
+	return out
+}
+
+// selOutput accumulates projected rows together with a per-row evaluation
+// environment so ORDER BY can evaluate arbitrary expressions after
+// projection.
+type selOutput struct {
+	columns []string
+	data    [][]Value
+	envs    []*evalEnv // parallel to data; nil entries mean "output only"
+}
+
+func (o *selOutput) add(vals []Value, env *evalEnv) {
+	o.data = append(o.data, vals)
+	o.envs = append(o.envs, env)
+}
+
+func (o *selOutput) rows() *Rows { return &Rows{Columns: o.columns, Data: o.data} }
+
+func (ec *execCtx) execSelectSimple(sel *SelectStmt, outer *scope) (*Rows, error) {
+	// 1. FROM
+	src, err := ec.execFrom(sel.From, outer)
+	if err != nil {
+		return nil, err
+	}
+	// 2. WHERE
+	var filtered [][]Value
+	if sel.Where != nil {
+		for _, row := range src.rows {
+			sc := &scope{cols: src.cols, row: row, parent: outer}
+			env := &evalEnv{ec: ec, sc: sc}
+			v, err := env.eval(sel.Where)
+			if err != nil {
+				return nil, err
+			}
+			if t, known := v.Truth(); t && known {
+				filtered = append(filtered, row)
+			}
+		}
+	} else {
+		filtered = src.rows
+	}
+
+	grouped := len(sel.GroupBy) > 0 || anyAggregate(sel)
+	out := &selOutput{columns: projectionNames(sel, src)}
+
+	if grouped {
+		if err := ec.projectGrouped(sel, src, filtered, outer, out); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range filtered {
+			sc := &scope{cols: src.cols, row: row, parent: outer}
+			env := &evalEnv{ec: ec, sc: sc}
+			vals, err := ec.projectRow(sel, src, env)
+			if err != nil {
+				return nil, err
+			}
+			out.add(vals, env)
+		}
+	}
+
+	if sel.Distinct {
+		dedupeOutput(out)
+	}
+	if err := ec.finishSelect(sel, out, outer, src); err != nil {
+		return nil, err
+	}
+	return out.rows(), nil
+}
+
+// finishSelect applies ORDER BY, LIMIT and OFFSET to an accumulated output.
+func (ec *execCtx) finishSelect(sel *SelectStmt, out *selOutput, outer *scope, src *rowSet) error {
+	if len(sel.OrderBy) > 0 {
+		if err := ec.orderOutput(sel, out); err != nil {
+			return err
+		}
+	}
+	if sel.Limit != nil {
+		env := &evalEnv{ec: ec, sc: &scope{parent: outer}}
+		lv, err := env.eval(sel.Limit)
+		if err != nil {
+			return err
+		}
+		limit := lv.AsInt()
+		var offset int64
+		if sel.Offset != nil {
+			ov, err := env.eval(sel.Offset)
+			if err != nil {
+				return err
+			}
+			offset = ov.AsInt()
+		}
+		if offset < 0 {
+			offset = 0
+		}
+		n := int64(len(out.data))
+		if offset > n {
+			offset = n
+		}
+		end := n
+		if limit >= 0 && offset+limit < n {
+			end = offset + limit
+		}
+		out.data = out.data[offset:end]
+		out.envs = out.envs[offset:end]
+	}
+	return nil
+}
+
+// orderOutput sorts the output rows by the ORDER BY terms. Each term can be
+// an ordinal, an output-column alias/name, or an arbitrary expression
+// (evaluated in the row's saved environment).
+func (ec *execCtx) orderOutput(sel *SelectStmt, out *selOutput) error {
+	type keyed struct {
+		vals []Value
+		env  *evalEnv
+		keys []Value
+	}
+	items := make([]keyed, len(out.data))
+	for i := range out.data {
+		items[i] = keyed{vals: out.data[i], env: out.envs[i]}
+		items[i].keys = make([]Value, len(sel.OrderBy))
+		for j, ob := range sel.OrderBy {
+			v, err := ec.evalOrderTerm(ob.Expr, out, i)
+			if err != nil {
+				return err
+			}
+			items[i].keys[j] = v
+		}
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		for j, ob := range sel.OrderBy {
+			c := Compare(items[a].keys[j], items[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range items {
+		out.data[i] = items[i].vals
+		out.envs[i] = items[i].env
+	}
+	return nil
+}
+
+func (ec *execCtx) evalOrderTerm(e Expr, out *selOutput, rowIdx int) (Value, error) {
+	// Ordinal: ORDER BY 2
+	if lit, ok := e.(*Literal); ok && lit.Val.Kind == KindInt {
+		idx := int(lit.Val.I) - 1
+		if idx < 0 || idx >= len(out.columns) {
+			return Value{}, fmt.Errorf("sqlengine: ORDER BY ordinal %d out of range", lit.Val.I)
+		}
+		return out.data[rowIdx][idx], nil
+	}
+	// Output column name or alias.
+	if cr, ok := e.(*ColumnRef); ok && cr.Table == "" {
+		for i, c := range out.columns {
+			if strings.EqualFold(c, cr.Name) {
+				return out.data[rowIdx][i], nil
+			}
+		}
+	}
+	env := out.envs[rowIdx]
+	if env == nil {
+		return Value{}, fmt.Errorf("sqlengine: ORDER BY expression %s must name an output column here", e.SQL())
+	}
+	return env.eval(e)
+}
+
+func dedupeOutput(out *selOutput) {
+	seen := make(map[string]bool, len(out.data))
+	var data [][]Value
+	var envs []*evalEnv
+	for i, r := range out.data {
+		var sb strings.Builder
+		for _, v := range r {
+			sb.WriteString(v.Key())
+			sb.WriteByte('\x00')
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			data = append(data, r)
+			envs = append(envs, out.envs[i])
+		}
+	}
+	out.data, out.envs = data, envs
+}
+
+// projectionNames computes output column names for the select list.
+func projectionNames(sel *SelectStmt, src *rowSet) []string {
+	var names []string
+	for _, item := range sel.Columns {
+		switch {
+		case item.Star && item.StarTable == "":
+			for _, c := range src.cols {
+				names = append(names, c.name)
+			}
+		case item.Star:
+			lt := strings.ToLower(item.StarTable)
+			for _, c := range src.cols {
+				if c.table == lt {
+					names = append(names, c.name)
+				}
+			}
+		case item.Alias != "":
+			names = append(names, item.Alias)
+		default:
+			if cr, ok := item.Expr.(*ColumnRef); ok {
+				names = append(names, cr.Name)
+			} else {
+				names = append(names, item.Expr.SQL())
+			}
+		}
+	}
+	return names
+}
+
+// projectRow evaluates the select list for one (non-grouped) row.
+func (ec *execCtx) projectRow(sel *SelectStmt, src *rowSet, env *evalEnv) ([]Value, error) {
+	var vals []Value
+	for _, item := range sel.Columns {
+		switch {
+		case item.Star && item.StarTable == "":
+			vals = append(vals, env.sc.row...)
+		case item.Star:
+			lt := strings.ToLower(item.StarTable)
+			matched := false
+			for i, c := range src.cols {
+				if c.table == lt {
+					vals = append(vals, env.sc.row[i])
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("sqlengine: no such table: %s", item.StarTable)
+			}
+		default:
+			v, err := env.eval(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+	}
+	return vals, nil
+}
+
+// projectGrouped partitions rows into groups, applies HAVING, and projects
+// the select list with aggregate support.
+func (ec *execCtx) projectGrouped(sel *SelectStmt, src *rowSet, rows [][]Value, outer *scope, out *selOutput) error {
+	type group struct {
+		rep  *scope
+		rows []*scope
+	}
+	var groups []*group
+	if len(sel.GroupBy) == 0 {
+		// Single implicit group (possibly empty: COUNT over no rows). The
+		// rows slice stays non-nil so aggregate evaluation recognises the
+		// grouped context even for the empty group.
+		g := &group{rows: make([]*scope, 0, len(rows))}
+		for _, row := range rows {
+			sc := &scope{cols: src.cols, row: row, parent: outer}
+			if g.rep == nil {
+				g.rep = sc
+			}
+			g.rows = append(g.rows, sc)
+		}
+		if g.rep == nil {
+			g.rep = &scope{cols: src.cols, row: make([]Value, len(src.cols)), parent: outer}
+		}
+		groups = append(groups, g)
+	} else {
+		idx := make(map[string]*group)
+		var order []string
+		for _, row := range rows {
+			sc := &scope{cols: src.cols, row: row, parent: outer}
+			env := &evalEnv{ec: ec, sc: sc}
+			var kb strings.Builder
+			for _, ge := range sel.GroupBy {
+				v, err := env.eval(ge)
+				if err != nil {
+					return err
+				}
+				kb.WriteString(v.Key())
+				kb.WriteByte('\x00')
+			}
+			k := kb.String()
+			g, ok := idx[k]
+			if !ok {
+				g = &group{rep: sc}
+				idx[k] = g
+				order = append(order, k)
+			}
+			g.rows = append(g.rows, sc)
+		}
+		for _, k := range order {
+			groups = append(groups, idx[k])
+		}
+	}
+
+	for _, g := range groups {
+		env := &evalEnv{ec: ec, sc: g.rep, group: g.rows}
+		if sel.Having != nil {
+			hv, err := env.eval(sel.Having)
+			if err != nil {
+				return err
+			}
+			if t, known := hv.Truth(); !t || !known {
+				continue
+			}
+		}
+		vals, err := ec.projectRow(sel, src, env)
+		if err != nil {
+			return err
+		}
+		out.add(vals, env)
+	}
+	return nil
+}
+
+// --- FROM evaluation ---
+
+func (ec *execCtx) execFrom(items []FromItem, outer *scope) (*rowSet, error) {
+	if len(items) == 0 {
+		// SELECT without FROM: a single empty row.
+		return &rowSet{rows: [][]Value{{}}}, nil
+	}
+	acc, err := ec.execFromItem(&items[0], outer)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(items); i++ {
+		right, err := ec.execFromItem(&items[i], outer)
+		if err != nil {
+			return nil, err
+		}
+		acc, err = ec.join(acc, right, items[i].Join, items[i].On, outer)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+func (ec *execCtx) execFromItem(item *FromItem, outer *scope) (*rowSet, error) {
+	name := strings.ToLower(item.Name())
+	if item.Sub != nil {
+		sub, err := ec.execSelect(item.Sub, outer)
+		if err != nil {
+			return nil, err
+		}
+		rs := &rowSet{rows: sub.Data}
+		for _, c := range sub.Columns {
+			rs.cols = append(rs.cols, scopeCol{table: name, name: strings.ToLower(c)})
+		}
+		return rs, nil
+	}
+	t, ok := ec.db.Table(item.Table)
+	if !ok {
+		return nil, fmt.Errorf("sqlengine: no such table: %s", item.Table)
+	}
+	if err := ec.charge(int64(len(t.Rows))); err != nil {
+		return nil, err
+	}
+	rs := &rowSet{rows: t.Rows}
+	for _, c := range t.Columns {
+		rs.cols = append(rs.cols, scopeCol{table: name, name: strings.ToLower(c.Name)})
+	}
+	return rs, nil
+}
+
+func (ec *execCtx) join(left, right *rowSet, jt JoinType, on Expr, outer *scope) (*rowSet, error) {
+	cols := make([]scopeCol, 0, len(left.cols)+len(right.cols))
+	cols = append(cols, left.cols...)
+	cols = append(cols, right.cols...)
+	out := &rowSet{cols: cols}
+	nullRight := make([]Value, len(right.cols))
+	for _, lr := range left.rows {
+		matched := false
+		for _, rr := range right.rows {
+			if err := ec.charge(1); err != nil {
+				return nil, err
+			}
+			row := make([]Value, 0, len(cols))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			if on != nil {
+				sc := &scope{cols: cols, row: row, parent: outer}
+				env := &evalEnv{ec: ec, sc: sc}
+				v, err := env.eval(on)
+				if err != nil {
+					return nil, err
+				}
+				if t, known := v.Truth(); !t || !known {
+					continue
+				}
+			}
+			matched = true
+			out.rows = append(out.rows, row)
+		}
+		if jt == JoinLeft && !matched {
+			row := make([]Value, 0, len(cols))
+			row = append(row, lr...)
+			row = append(row, nullRight...)
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// --- DML execution ---
+
+func (ec *execCtx) execInsert(ins *InsertStmt) (int64, error) {
+	t, ok := ec.db.Table(ins.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqlengine: no such table: %s", ins.Table)
+	}
+	env := &evalEnv{ec: ec, sc: &scope{}}
+	var n int64
+	for _, rowExprs := range ins.Rows {
+		vals := make([]Value, len(rowExprs))
+		for i, e := range rowExprs {
+			v, err := env.eval(e)
+			if err != nil {
+				return n, err
+			}
+			vals[i] = v
+		}
+		if err := t.insertRow(ins.Columns, vals); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func (ec *execCtx) execUpdate(up *UpdateStmt) (int64, error) {
+	t, ok := ec.db.Table(up.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqlengine: no such table: %s", up.Table)
+	}
+	cols := make([]scopeCol, len(t.Columns))
+	lt := strings.ToLower(t.Name)
+	for i, c := range t.Columns {
+		cols[i] = scopeCol{table: lt, name: strings.ToLower(c.Name)}
+	}
+	var n int64
+	for ri, row := range t.Rows {
+		if err := ec.charge(1); err != nil {
+			return n, err
+		}
+		env := &evalEnv{ec: ec, sc: &scope{cols: cols, row: row}}
+		if up.Where != nil {
+			v, err := env.eval(up.Where)
+			if err != nil {
+				return n, err
+			}
+			if truth, known := v.Truth(); !truth || !known {
+				continue
+			}
+		}
+		newRow := make([]Value, len(row))
+		copy(newRow, row)
+		for _, set := range up.Set {
+			idx := t.ColumnIndex(set.Column)
+			if idx < 0 {
+				return n, fmt.Errorf("sqlengine: no such column: %s", set.Column)
+			}
+			v, err := env.eval(set.Value)
+			if err != nil {
+				return n, err
+			}
+			newRow[idx] = coerce(v, t.Columns[idx].Type)
+		}
+		t.Rows[ri] = newRow
+		n++
+	}
+	return n, nil
+}
+
+func (ec *execCtx) execDelete(del *DeleteStmt) (int64, error) {
+	t, ok := ec.db.Table(del.Table)
+	if !ok {
+		return 0, fmt.Errorf("sqlengine: no such table: %s", del.Table)
+	}
+	cols := make([]scopeCol, len(t.Columns))
+	lt := strings.ToLower(t.Name)
+	for i, c := range t.Columns {
+		cols[i] = scopeCol{table: lt, name: strings.ToLower(c.Name)}
+	}
+	var kept [][]Value
+	var n int64
+	for _, row := range t.Rows {
+		if err := ec.charge(1); err != nil {
+			return n, err
+		}
+		remove := true
+		if del.Where != nil {
+			env := &evalEnv{ec: ec, sc: &scope{cols: cols, row: row}}
+			v, err := env.eval(del.Where)
+			if err != nil {
+				return n, err
+			}
+			truth, known := v.Truth()
+			remove = truth && known
+		}
+		if remove {
+			n++
+		} else {
+			kept = append(kept, row)
+		}
+	}
+	t.Rows = kept
+	return n, nil
+}
+
+// anyAggregate reports whether the select list, HAVING or ORDER BY of sel
+// contains an aggregate function call.
+func anyAggregate(sel *SelectStmt) bool {
+	for _, item := range sel.Columns {
+		if item.Expr != nil && exprHasAggregate(item.Expr) {
+			return true
+		}
+	}
+	if sel.Having != nil && exprHasAggregate(sel.Having) {
+		return true
+	}
+	for _, ob := range sel.OrderBy {
+		if exprHasAggregate(ob.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *FuncCall:
+		if isAggregateCall(x) {
+			return true
+		}
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return exprHasAggregate(x.L) || exprHasAggregate(x.R)
+	case *Unary:
+		return exprHasAggregate(x.X)
+	case *CaseExpr:
+		if x.Operand != nil && exprHasAggregate(x.Operand) {
+			return true
+		}
+		for _, w := range x.Whens {
+			if exprHasAggregate(w.When) || exprHasAggregate(w.Then) {
+				return true
+			}
+		}
+		if x.Else != nil && exprHasAggregate(x.Else) {
+			return true
+		}
+	case *BetweenExpr:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Lo) || exprHasAggregate(x.Hi)
+	case *LikeExpr:
+		return exprHasAggregate(x.X) || exprHasAggregate(x.Pattern)
+	case *IsNullExpr:
+		return exprHasAggregate(x.X)
+	case *InExpr:
+		if exprHasAggregate(x.X) {
+			return true
+		}
+		for _, e := range x.List {
+			if exprHasAggregate(e) {
+				return true
+			}
+		}
+	case *CastExpr:
+		return exprHasAggregate(x.X)
+	}
+	return false
+}
+
+// isAggregateCall reports whether fc is an aggregate invocation. MIN/MAX
+// with more than one argument are SQLite's scalar variants.
+func isAggregateCall(fc *FuncCall) bool {
+	switch fc.Name {
+	case "COUNT", "SUM", "AVG", "TOTAL", "GROUP_CONCAT":
+		return true
+	case "MIN", "MAX":
+		return fc.Star || len(fc.Args) == 1
+	}
+	return false
+}

@@ -1,0 +1,223 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer splits a SQL statement into tokens. It handles single-quoted
+// strings with ” escapes, double-quoted and backquoted identifiers
+// (SQLite/MySQL style), square-bracket identifiers, line comments (--) and
+// block comments (/* */).
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Tokenize runs the lexer to completion, returning all tokens excluding the
+// trailing EOF. It is the convenience entry point used by the parser.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Type == TokenEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}
+
+// Next returns the next token, or a TokenEOF token at end of input.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.src) {
+		return Token{Type: TokenEOF, Pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '\'':
+		s, err := lx.readString('\'')
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Type: TokenString, Text: s, Pos: start}, nil
+	case c == '"':
+		s, err := lx.readString('"')
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Type: TokenIdent, Text: s, Pos: start}, nil
+	case c == '`':
+		s, err := lx.readString('`')
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Type: TokenIdent, Text: s, Pos: start}, nil
+	case c == '[':
+		end := strings.IndexByte(lx.src[lx.pos:], ']')
+		if end < 0 {
+			return Token{}, fmt.Errorf("sqlengine: unterminated [identifier] at offset %d", start)
+		}
+		text := lx.src[lx.pos+1 : lx.pos+end]
+		lx.pos += end + 1
+		return Token{Type: TokenIdent, Text: text, Pos: start}, nil
+	case isDigit(c) || (c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1])):
+		return lx.readNumber(), nil
+	case isIdentStart(c):
+		return lx.readWord(), nil
+	}
+	// Operators and punctuation.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<=":
+		lx.pos += 2
+		return Token{Type: TokenLte, Text: "<=", Pos: start}, nil
+	case ">=":
+		lx.pos += 2
+		return Token{Type: TokenGte, Text: ">=", Pos: start}, nil
+	case "<>", "!=":
+		lx.pos += 2
+		return Token{Type: TokenNeq, Text: "!=", Pos: start}, nil
+	case "||":
+		lx.pos += 2
+		return Token{Type: TokenConcat, Text: "||", Pos: start}, nil
+	case "==":
+		lx.pos += 2
+		return Token{Type: TokenEq, Text: "=", Pos: start}, nil
+	}
+	lx.pos++
+	switch c {
+	case ',':
+		return Token{Type: TokenComma, Text: ",", Pos: start}, nil
+	case '.':
+		return Token{Type: TokenDot, Text: ".", Pos: start}, nil
+	case ';':
+		return Token{Type: TokenSemicolon, Text: ";", Pos: start}, nil
+	case '(':
+		return Token{Type: TokenLParen, Text: "(", Pos: start}, nil
+	case ')':
+		return Token{Type: TokenRParen, Text: ")", Pos: start}, nil
+	case '*':
+		return Token{Type: TokenStar, Text: "*", Pos: start}, nil
+	case '+':
+		return Token{Type: TokenPlus, Text: "+", Pos: start}, nil
+	case '-':
+		return Token{Type: TokenMinus, Text: "-", Pos: start}, nil
+	case '/':
+		return Token{Type: TokenSlash, Text: "/", Pos: start}, nil
+	case '%':
+		return Token{Type: TokenPercent, Text: "%", Pos: start}, nil
+	case '=':
+		return Token{Type: TokenEq, Text: "=", Pos: start}, nil
+	case '<':
+		return Token{Type: TokenLt, Text: "<", Pos: start}, nil
+	case '>':
+		return Token{Type: TokenGt, Text: ">", Pos: start}, nil
+	}
+	return Token{}, fmt.Errorf("sqlengine: unexpected character %q at offset %d", c, start)
+}
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-':
+			nl := strings.IndexByte(lx.src[lx.pos:], '\n')
+			if nl < 0 {
+				lx.pos = len(lx.src)
+			} else {
+				lx.pos += nl + 1
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				lx.pos = len(lx.src)
+			} else {
+				lx.pos += end + 4
+			}
+		default:
+			return
+		}
+	}
+}
+
+// readString consumes a quoted literal delimited by quote, handling doubled
+// quotes as escapes (” -> ').
+func (lx *Lexer) readString(quote byte) (string, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == quote {
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == quote {
+				b.WriteByte(quote)
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		lx.pos++
+	}
+	return "", fmt.Errorf("sqlengine: unterminated string starting at offset %d", start)
+}
+
+func (lx *Lexer) readNumber() Token {
+	start := lx.pos
+	seenDot, seenExp := false, false
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case isDigit(c):
+			lx.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			lx.pos++
+		case (c == 'e' || c == 'E') && !seenExp && lx.pos > start:
+			seenExp = true
+			lx.pos++
+			if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+				lx.pos++
+			}
+		default:
+			return Token{Type: TokenNumber, Text: lx.src[start:lx.pos], Pos: start}
+		}
+	}
+	return Token{Type: TokenNumber, Text: lx.src[start:lx.pos], Pos: start}
+}
+
+func (lx *Lexer) readWord() Token {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	word := lx.src[start:lx.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return Token{Type: TokenKeyword, Text: upper, Pos: start}
+	}
+	return Token{Type: TokenIdent, Text: word, Pos: start}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }

@@ -1,0 +1,216 @@
+package sqlengine
+
+import (
+	"testing"
+)
+
+func mustParseSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY b DESC LIMIT 5 OFFSET 2")
+	if len(sel.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2", len(sel.Columns))
+	}
+	if sel.Columns[1].Alias != "bee" {
+		t.Errorf("alias = %q, want bee", sel.Columns[1].Alias)
+	}
+	if sel.Where == nil || sel.Limit == nil || sel.Offset == nil {
+		t.Errorf("missing WHERE/LIMIT/OFFSET")
+	}
+	if len(sel.OrderBy) != 1 || !sel.OrderBy[0].Desc {
+		t.Errorf("ORDER BY DESC not parsed")
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustParseSelect(t, `SELECT s.name FROM schools s INNER JOIN satscores ON s.CDSCode = satscores.cds LEFT JOIN frpm f ON f.CDSCode = s.CDSCode`)
+	if len(sel.From) != 3 {
+		t.Fatalf("from items = %d, want 3", len(sel.From))
+	}
+	if sel.From[0].Alias != "s" {
+		t.Errorf("first alias = %q", sel.From[0].Alias)
+	}
+	if sel.From[1].Join != JoinInner || sel.From[1].On == nil {
+		t.Errorf("second item should be INNER JOIN with ON")
+	}
+	if sel.From[2].Join != JoinLeft {
+		t.Errorf("third item should be LEFT JOIN")
+	}
+}
+
+func TestParseGroupHaving(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT dept, COUNT(*) FROM emp GROUP BY dept HAVING COUNT(*) > 3")
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatalf("GROUP BY / HAVING not parsed")
+	}
+	fc, ok := sel.Columns[1].Expr.(*FuncCall)
+	if !ok || !fc.Star || fc.Name != "COUNT" {
+		t.Errorf("COUNT(*) not parsed: %#v", sel.Columns[1].Expr)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	sel := mustParseSelect(t, `SELECT name FROM t WHERE id IN (SELECT tid FROM u WHERE x = 1) AND EXISTS (SELECT 1 FROM v) AND score > (SELECT AVG(score) FROM t)`)
+	if sel.Where == nil {
+		t.Fatal("missing WHERE")
+	}
+	// WHERE is ((IN AND EXISTS) AND scalar-subquery-compare)
+	b, ok := sel.Where.(*Binary)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("top of WHERE should be AND, got %T", sel.Where)
+	}
+}
+
+func TestParseCaseCast(t *testing.T) {
+	sel := mustParseSelect(t, `SELECT CASE WHEN x > 0 THEN 'pos' WHEN x < 0 THEN 'neg' ELSE 'zero' END, CAST(x AS REAL), CASE y WHEN 1 THEN 'one' END FROM t`)
+	ce, ok := sel.Columns[0].Expr.(*CaseExpr)
+	if !ok || len(ce.Whens) != 2 || ce.Else == nil || ce.Operand != nil {
+		t.Errorf("searched CASE parse failed: %#v", sel.Columns[0].Expr)
+	}
+	cast, ok := sel.Columns[1].Expr.(*CastExpr)
+	if !ok || cast.Type != "REAL" {
+		t.Errorf("CAST parse failed: %#v", sel.Columns[1].Expr)
+	}
+	ce2, ok := sel.Columns[2].Expr.(*CaseExpr)
+	if !ok || ce2.Operand == nil {
+		t.Errorf("operand CASE parse failed")
+	}
+}
+
+func TestParseBetweenLikeIn(t *testing.T) {
+	sel := mustParseSelect(t, `SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b NOT LIKE '%x%' AND c NOT IN (1, 2) AND d IS NOT NULL`)
+	b := sel.Where.(*Binary)
+	if b.Op != "AND" {
+		t.Fatalf("top op = %q", b.Op)
+	}
+	isn, ok := b.R.(*IsNullExpr)
+	if !ok || !isn.Not {
+		t.Errorf("IS NOT NULL parse failed: %#v", b.R)
+	}
+}
+
+func TestParseCompound(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT a FROM t UNION SELECT a FROM u ORDER BY a LIMIT 3")
+	if sel.Compound != CompoundUnion || sel.Next == nil {
+		t.Fatalf("UNION not parsed")
+	}
+	if len(sel.OrderBy) != 1 || sel.Limit == nil {
+		t.Errorf("compound tail not attached to head")
+	}
+	if sel.Next.OrderBy != nil {
+		t.Errorf("tail should not attach to second arm")
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse(`CREATE TABLE schools (
+		CDSCode TEXT PRIMARY KEY,
+		County TEXT NOT NULL,
+		Magnet INTEGER,
+		Budget REAL DEFAULT 0,
+		FOREIGN KEY (County) REFERENCES counties(name)
+	)`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Name != "schools" || len(ct.Columns) != 4 {
+		t.Fatalf("bad create: %+v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Type != "TEXT" {
+		t.Errorf("CDSCode should be TEXT PRIMARY KEY")
+	}
+	if !ct.Columns[1].NotNull {
+		t.Errorf("County should be NOT NULL")
+	}
+	if ct.Columns[2].Type != "INTEGER" || ct.Columns[3].Type != "REAL" {
+		t.Errorf("types wrong: %+v", ct.Columns)
+	}
+	if len(ct.ForeignKeys) != 1 || ct.ForeignKeys[0].ParentTable != "counties" {
+		t.Errorf("FK wrong: %+v", ct.ForeignKeys)
+	}
+}
+
+func TestParseInsertUpdateDelete(t *testing.T) {
+	st, err := Parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	if err != nil {
+		t.Fatalf("Parse insert: %v", err)
+	}
+	ins := st.(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Errorf("insert parse: %+v", ins)
+	}
+
+	st, err = Parse("UPDATE t SET a = 2, b = 'z' WHERE a = 1")
+	if err != nil {
+		t.Fatalf("Parse update: %v", err)
+	}
+	up := st.(*UpdateStmt)
+	if len(up.Set) != 2 || up.Where == nil {
+		t.Errorf("update parse: %+v", up)
+	}
+
+	st, err = Parse("DELETE FROM t WHERE a = 1")
+	if err != nil {
+		t.Fatalf("Parse delete: %v", err)
+	}
+	del := st.(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("delete parse: %+v", del)
+	}
+}
+
+func TestParseBacktickedColumns(t *testing.T) {
+	sel := mustParseSelect(t, "SELECT `Free Meal Count` FROM `frpm` WHERE `Academic Year` = '2014-2015'")
+	cr, ok := sel.Columns[0].Expr.(*ColumnRef)
+	if !ok || cr.Name != "Free Meal Count" {
+		t.Errorf("backticked column parse failed: %#v", sel.Columns[0].Expr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"INSERT INTO t VALUES",
+		"CREATE TABLE t ()",
+		"SELECT a FROM t ORDER",
+		"SELECT CASE END FROM t",
+		"SELECT a b c FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestExprSQLRoundTrip(t *testing.T) {
+	// Rendering an expression back to SQL should re-parse to an equivalent form.
+	srcs := []string{
+		"SELECT a + b * 2 FROM t",
+		"SELECT UPPER(name) FROM t WHERE id IN (1, 2, 3)",
+		"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+		"SELECT t.a FROM t WHERE b LIKE '%f%' AND c BETWEEN 1 AND 2",
+	}
+	for _, src := range srcs {
+		sel := mustParseSelect(t, src)
+		for _, col := range sel.Columns {
+			rendered := col.Expr.SQL()
+			if _, err := ParseSelect("SELECT " + rendered + " FROM t"); err != nil {
+				t.Errorf("re-parse of rendered %q failed: %v", rendered, err)
+			}
+		}
+	}
+}

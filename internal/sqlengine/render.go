@@ -1,0 +1,226 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SQL renders the statement back to executable SQL text. Together with
+// Expr.SQL it gives callers (the dataset's corruption variants, RSL-SQL's
+// backward schema linking) a parse → transform → render path.
+func (s *SelectStmt) SQL() string {
+	var b strings.Builder
+	s.writeCore(&b)
+	for cur := s; cur.Compound != CompoundNone; cur = cur.Next {
+		switch cur.Compound {
+		case CompoundUnion:
+			b.WriteString(" UNION ")
+		case CompoundUnionAll:
+			b.WriteString(" UNION ALL ")
+		case CompoundExcept:
+			b.WriteString(" EXCEPT ")
+		case CompoundIntersect:
+			b.WriteString(" INTERSECT ")
+		}
+		cur.Next.writeCore(&b)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, ob := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(ob.Expr.SQL())
+			if ob.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %s", s.Limit.SQL())
+		if s.Offset != nil {
+			fmt.Fprintf(&b, " OFFSET %s", s.Offset.SQL())
+		}
+	}
+	return b.String()
+}
+
+func (s *SelectStmt) writeCore(b *strings.Builder) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.StarTable != "":
+			b.WriteString(quoteIdent(item.StarTable) + ".*")
+		case item.Star:
+			b.WriteString("*")
+		default:
+			b.WriteString(item.Expr.SQL())
+			if item.Alias != "" {
+				b.WriteString(" AS " + quoteIdent(item.Alias))
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, f := range s.From {
+			if i > 0 {
+				if f.Join == JoinCross {
+					b.WriteString(" CROSS JOIN ")
+				} else {
+					b.WriteString(" " + f.Join.String() + " ")
+				}
+			}
+			if f.Sub != nil {
+				b.WriteString("(" + f.Sub.SQL() + ")")
+			} else {
+				b.WriteString(quoteIdent(f.Table))
+			}
+			if f.Alias != "" && f.Alias != f.Table {
+				b.WriteString(" AS " + quoteIdent(f.Alias))
+			}
+			if f.On != nil {
+				b.WriteString(" ON " + f.On.SQL())
+			}
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.SQL())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.SQL())
+	}
+}
+
+// ReferencedColumns walks a parsed statement and collects every
+// table-qualified and bare column reference. RSL-SQL's backward schema
+// linking extracts exactly this set from a preliminary SQL query.
+func ReferencedColumns(s *SelectStmt) []ColumnRef {
+	var out []ColumnRef
+	var walkExpr func(e Expr)
+	var walkSel func(sel *SelectStmt)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *ColumnRef:
+			out = append(out, *x)
+		case *Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Unary:
+			walkExpr(x.X)
+		case *FuncCall:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		case *CaseExpr:
+			if x.Operand != nil {
+				walkExpr(x.Operand)
+			}
+			for _, w := range x.Whens {
+				walkExpr(w.When)
+				walkExpr(w.Then)
+			}
+			if x.Else != nil {
+				walkExpr(x.Else)
+			}
+		case *InExpr:
+			walkExpr(x.X)
+			for _, el := range x.List {
+				walkExpr(el)
+			}
+			if x.Sub != nil {
+				walkSel(x.Sub)
+			}
+		case *BetweenExpr:
+			walkExpr(x.X)
+			walkExpr(x.Lo)
+			walkExpr(x.Hi)
+		case *LikeExpr:
+			walkExpr(x.X)
+			walkExpr(x.Pattern)
+		case *IsNullExpr:
+			walkExpr(x.X)
+		case *ExistsExpr:
+			walkSel(x.Sub)
+		case *SubqueryExpr:
+			walkSel(x.Sub)
+		case *CastExpr:
+			walkExpr(x.X)
+		}
+	}
+	walkSel = func(sel *SelectStmt) {
+		for cur := sel; cur != nil; cur = cur.Next {
+			for _, c := range cur.Columns {
+				if c.Expr != nil {
+					walkExpr(c.Expr)
+				}
+			}
+			for _, f := range cur.From {
+				if f.On != nil {
+					walkExpr(f.On)
+				}
+				if f.Sub != nil {
+					walkSel(f.Sub)
+				}
+			}
+			if cur.Where != nil {
+				walkExpr(cur.Where)
+			}
+			for _, g := range cur.GroupBy {
+				walkExpr(g)
+			}
+			if cur.Having != nil {
+				walkExpr(cur.Having)
+			}
+			for _, ob := range cur.OrderBy {
+				walkExpr(ob.Expr)
+			}
+			if cur.Compound == CompoundNone {
+				break
+			}
+		}
+	}
+	walkSel(s)
+	return out
+}
+
+// ReferencedTables collects the base-table names a statement touches.
+func ReferencedTables(s *SelectStmt) []string {
+	seen := make(map[string]bool)
+	var out []string
+	var walk func(sel *SelectStmt)
+	walk = func(sel *SelectStmt) {
+		for cur := sel; cur != nil; cur = cur.Next {
+			for _, f := range cur.From {
+				if f.Sub != nil {
+					walk(f.Sub)
+					continue
+				}
+				k := strings.ToLower(f.Table)
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, f.Table)
+				}
+			}
+			if cur.Compound == CompoundNone {
+				break
+			}
+		}
+	}
+	walk(s)
+	return out
+}

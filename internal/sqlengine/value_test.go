@@ -1,0 +1,167 @@
+package sqlengine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null should be null")
+	}
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int AsFloat")
+	}
+	if Float(2.5).AsInt() != 2 {
+		t.Error("Float AsInt truncates")
+	}
+	if Text("7").AsInt() != 7 {
+		t.Error("Text AsInt parses")
+	}
+	if Text("x").AsFloat() != 0 {
+		t.Error("non-numeric text is 0")
+	}
+	if Bool(true).I != 1 || Bool(false).I != 0 {
+		t.Error("Bool encoding")
+	}
+	if Float(4).AsText() != "4.0" {
+		t.Errorf("integral REAL renders with .0, got %q", Float(4).AsText())
+	}
+}
+
+func TestTruth(t *testing.T) {
+	cases := []struct {
+		v     Value
+		truth bool
+		known bool
+	}{
+		{Null(), false, false},
+		{Int(0), false, true},
+		{Int(5), true, true},
+		{Float(0), false, true},
+		{Float(0.1), true, true},
+		{Text("0"), false, true},
+		{Text("1"), true, true},
+		{Text("abc"), false, true},
+	}
+	for _, c := range cases {
+		tr, kn := c.v.Truth()
+		if tr != c.truth || kn != c.known {
+			t.Errorf("Truth(%v) = (%v,%v), want (%v,%v)", c.v, tr, kn, c.truth, c.known)
+		}
+	}
+}
+
+func TestCompareCrossKind(t *testing.T) {
+	// NULL < numeric < text (SQLite ordering).
+	if Compare(Null(), Int(0)) >= 0 {
+		t.Error("NULL should sort before numbers")
+	}
+	if Compare(Int(999), Text("")) >= 0 {
+		t.Error("numbers should sort before text")
+	}
+	if Compare(Int(2), Float(2.0)) != 0 {
+		t.Error("2 == 2.0")
+	}
+	if Compare(Text("a"), Text("B")) <= 0 {
+		t.Error("text comparison must be case-sensitive byte order ('a' > 'B')")
+	}
+}
+
+func TestDistinctEqualAndKey(t *testing.T) {
+	if !DistinctEqual(Null(), Null()) {
+		t.Error("NULL is distinct-equal to NULL")
+	}
+	if DistinctEqual(Null(), Int(0)) {
+		t.Error("NULL != 0")
+	}
+	if Int(3).Key() != Float(3.0).Key() {
+		t.Error("3 and 3.0 must share a grouping key")
+	}
+	if Int(3).Key() == Text("3").Key() {
+		t.Error("3 and '3' must not share a grouping key")
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Key equality.
+func TestCompareProperties(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		c1, c2 := Compare(va, vb), Compare(vb, va)
+		if c1 != -c2 {
+			return false
+		}
+		if c1 == 0 != (va.Key() == vb.Key()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Equal is never known when either side is NULL.
+func TestEqualNullProperty(t *testing.T) {
+	f := func(s string) bool {
+		_, known := Equal(Text(s), Null())
+		_, known2 := Equal(Null(), Text(s))
+		return !known && !known2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: text round-trips through Key uniquely.
+func TestTextKeyInjective(t *testing.T) {
+	f := func(a, b string) bool {
+		return (a == b) == (Text(a).Key() == Text(b).Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"a%", "abc", true},
+		{"%c", "abc", true},
+		{"%b%", "abc", true},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"abc", "ABC", true}, // case-insensitive
+		{"", "", true},
+		{"", "x", false},
+		{"%%", "x", true},
+		{"x_", "x", false},
+		{"POPLATEK%", "POPLATEK TYDNE", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+// Property: a string always matches itself as a pattern when it contains no
+// wildcards, and always matches "%".
+func TestLikeProperties(t *testing.T) {
+	f := func(s string) bool {
+		clean := ""
+		for _, r := range s {
+			if r != '%' && r != '_' && r < 128 {
+				clean += string(r)
+			}
+		}
+		return likeMatch(clean, clean) && likeMatch("%", clean)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

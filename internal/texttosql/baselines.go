@@ -1,0 +1,135 @@
+package texttosql
+
+import (
+	"fmt"
+
+	"repro/internal/llm"
+)
+
+// The five paper baselines as canned option sets (§IV-C). Display names
+// match the paper's table rows.
+
+// NewCHESSIRCGUT builds CHESS with information retriever, candidate
+// generator and unit tester (the paper's strongest CHESS configuration).
+func NewCHESSIRCGUT(client llm.Client) Generator {
+	return NewGenerator(Options{
+		DisplayName:    "CHESS_IR+CG+UT (GPT-4o-mini)",
+		Model:          "gpt-4o-mini",
+		FormatStrict:   0.85,
+		JoinDisruption: 0.18,
+		Values:         NewRetriever(StrategyScan),
+		Docs:           0.75,
+		SchemaLinking:  0.55,
+		StructBoost:    -0.04,
+		Candidates:     3,
+		UnitTest:       true,
+	}, client)
+}
+
+// NewCHESSIRSSCG builds CHESS with information retriever, schema selector
+// and candidate generator. The schema selector prunes aggressively, which
+// — per the §II finding the paper cites — costs structural accuracy.
+func NewCHESSIRSSCG(client llm.Client) Generator {
+	return NewGenerator(Options{
+		DisplayName:    "CHESS_IR+SS+CG (GPT-4o-mini)",
+		Model:          "gpt-4o-mini",
+		FormatStrict:   0.45,
+		JoinDisruption: 0.18,
+		Values:         NewRetriever(StrategyScan),
+		Docs:           0.75,
+		SchemaLinking:  0.50,
+		StructBoost:    -0.02,
+		Candidates:     1,
+	}, client)
+}
+
+// NewRSLSQL builds RSL-SQL: bidirectional schema linking over GPT-4o. Its
+// linking machinery dominates column and join binding; it ingests evidence
+// by simple prompt concatenation.
+func NewRSLSQL(client llm.Client) Generator {
+	return NewGenerator(Options{
+		DisplayName:    "RSL-SQL (GPT-4o)",
+		Model:          "gpt-4o",
+		FormatStrict:   0.80,
+		JoinDisruption: 0.03,
+		Values:         NewRetriever(StrategyScan),
+		Docs:           0.50,
+		SchemaLinking:  0.90,
+		StructBoost:    0.00,
+		Candidates:     2,
+		UnitTest:       true,
+	}, client)
+}
+
+// NewCodeS builds SFT CodeS at a given parameter scale (1, 3, 7 or 15
+// billion). CodeS grounds values with BM25 plus longest common substring
+// and concatenates evidence with the question.
+func NewCodeS(client llm.Client, billions int) Generator {
+	var capability float64
+	switch billions {
+	case 15:
+		capability = 0.80
+	case 7:
+		capability = 0.72
+	case 3:
+		capability = 0.64
+	case 1:
+		capability = 0.56
+	default:
+		panic(fmt.Sprintf("texttosql: no CodeS size %dB", billions))
+	}
+	return NewGenerator(Options{
+		DisplayName:    fmt.Sprintf("SFT CodeS-%dB", billions),
+		Model:          codesModel(billions, capability),
+		ReadsJoinHints: true,
+		Values:         NewRetriever(StrategyBM25),
+		Docs:           0.45,
+		SchemaLinking:  0.45,
+		StructBoost:    0.02, // fine-tuning specialises structure
+		Candidates:     1,
+	}, client)
+}
+
+// codesModel registers a size-specific CodeS model variant on first use.
+func codesModel(billions int, capability float64) string {
+	name := fmt.Sprintf("codes-%db", billions)
+	llm.RegisterModel(llm.Model{
+		Name:                 name,
+		ContextWindow:        8192,
+		Capability:           capability,
+		InstructionFollowing: 0.97,
+	})
+	return name
+}
+
+// NewDAILSQL builds DAIL-SQL: GPT-4 with systematically engineered prompts
+// and few-shot selection, but no database retrieval machinery — which is
+// why it degrades hardest without evidence (Table IV: −20.86 EX).
+func NewDAILSQL(client llm.Client) Generator {
+	return NewGenerator(Options{
+		DisplayName:    "DAIL-SQL (GPT-4)",
+		Model:          "gpt-4",
+		ReadsJoinHints: true,
+		Values:         nil,
+		Docs:           0,
+		SchemaLinking:  0.20,
+		StructBoost:    -0.08,
+		Candidates:     1,
+	}, client)
+}
+
+// NewC3 builds C3: zero-shot ChatGPT with clear prompting, calibration
+// hints and consistent-output voting.
+func NewC3(client llm.Client) Generator {
+	return NewGenerator(Options{
+		DisplayName:    "C3 (ChatGPT)",
+		Model:          "chatgpt",
+		ReadsJoinHints: true,
+		Values:         nil,
+		Docs:           0,
+		SchemaLinking:  0.50,
+		StructBoost:    0.00,
+		Candidates:     3,
+		UnitTest:       true,
+	}, client)
+}

@@ -1,0 +1,207 @@
+package textutil
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"How many cards?", []string{"how", "many", "cards"}},
+		{"molecule TR024", []string{"molecule", "tr024"}},
+		{"POPLATEK TYDNE", []string{"poplatek", "tydne"}},
+		{"", nil},
+		{"a-b_c", []string{"a", "b_c"}},
+	}
+	for _, c := range cases {
+		if got := Tokenize(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContentWords(t *testing.T) {
+	got := ContentWords("How many clients opened their accounts in the Jesenik branch?")
+	for _, w := range got {
+		if IsStopword(w) {
+			t.Errorf("stopword %q leaked through", w)
+		}
+	}
+	joined := strings.Join(got, " ")
+	for _, want := range []string{"clients", "accounts", "jesenik", "branch"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("ContentWords missing %q: %v", want, got)
+		}
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"schools":  "school",
+		"opened":   "open",
+		"issuing":  "issu",
+		"cities":   "city",
+		"boxes":    "box",
+		"class":    "class",
+		"magnet":   "magnet",
+		"accounts": "account",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"restricted", "Restricted", 1},
+		{"same", "same", 0},
+		{"fremont", "freemont", 1},
+	}
+	for _, c := range cases {
+		if got := EditDistance(c.a, c.b); got != c.want {
+			t.Errorf("EditDistance(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Metric properties of edit distance: identity, symmetry, triangle
+// inequality (on short strings to keep quick fast).
+func TestEditDistanceMetricProperties(t *testing.T) {
+	clip := func(s string) string {
+		if len(s) > 12 {
+			return s[:12]
+		}
+		return s
+	}
+	f := func(a, b, c string) bool {
+		a, b, c = clip(a), clip(b), clip(c)
+		dab := EditDistance(a, b)
+		dba := EditDistance(b, a)
+		if dab != dba {
+			return false
+		}
+		if EditDistance(a, a) != 0 {
+			return false
+		}
+		return EditDistance(a, c) <= dab+EditDistance(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	if Similarity("abc", "abc") != 1 {
+		t.Error("identical strings have similarity 1")
+	}
+	if Similarity("", "") != 1 {
+		t.Error("empty-empty similarity is 1")
+	}
+	if s := Similarity("Fremont", "fremont"); s != 1 {
+		t.Errorf("case-insensitive similarity: %v", s)
+	}
+	if s := Similarity("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint similarity = %v, want 0", s)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 10 {
+			a = a[:10]
+		}
+		if len(b) > 10 {
+			b = b[:10]
+		}
+		s := Similarity(a, b)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLongestCommonSubstring(t *testing.T) {
+	s, n := LongestCommonSubstring("POPLATEK TYDNE", "weekly POPLATEK")
+	if s != "poplatek" || n != 8 {
+		t.Errorf("LCS = %q/%d, want poplatek/8", s, n)
+	}
+	_, n = LongestCommonSubstring("", "abc")
+	if n != 0 {
+		t.Errorf("LCS with empty = %d", n)
+	}
+	s, n = LongestCommonSubstring("abc", "abc")
+	if s != "abc" || n != 3 {
+		t.Errorf("LCS identical = %q/%d", s, n)
+	}
+}
+
+// LCS length is bounded by both input lengths and the result is a substring
+// of both (case-insensitively).
+func TestLCSProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 15 {
+			a = a[:15]
+		}
+		if len(b) > 15 {
+			b = b[:15]
+		}
+		s, n := LongestCommonSubstring(a, b)
+		la, lb := len([]rune(strings.ToLower(a))), len([]rune(strings.ToLower(b)))
+		if n > la || n > lb {
+			return false
+		}
+		if n == 0 {
+			return s == ""
+		}
+		return strings.Contains(strings.ToLower(a), s) && strings.Contains(strings.ToLower(b), s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	grams := NGrams("ab", 3)
+	want := []string{" ab", "ab "}
+	if !reflect.DeepEqual(grams, want) {
+		t.Errorf("NGrams = %v, want %v", grams, want)
+	}
+	if NGrams("x", 0) != nil {
+		t.Error("n=0 should return nil")
+	}
+}
+
+func TestNormalizeIdent(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"FreeMealCount", []string{"free", "meal", "count"}},
+		{"free_meal_count", []string{"free", "meal", "count"}},
+		{"Free Meal Count", []string{"free", "meal", "count"}},
+		{"CDSCode", []string{"cds", "code"}},
+		{"eye_colour_id", []string{"eye", "colour", "id"}},
+		{"NumTstTakr", []string{"num", "tst", "takr"}},
+		{"HCT", []string{"hct"}},
+	}
+	for _, c := range cases {
+		if got := NormalizeIdent(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("NormalizeIdent(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
