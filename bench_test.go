@@ -10,11 +10,13 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/evserve"
 	"repro/internal/experiments"
 	"repro/internal/llm"
 	"repro/internal/seed"
@@ -155,6 +157,80 @@ func BenchmarkAblationUnitTester(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- Evidence-service benchmarks (the evserve subsystem) ---
+
+// BenchmarkEvserveColdVsWarm contrasts a full pipeline run (cold) with a
+// cache hit (warm) for the same requests. The warm path must come out at
+// least an order of magnitude faster — that ratio is the whole case for
+// fronting the pipeline with the service.
+func BenchmarkEvserveColdVsWarm(b *testing.B) {
+	env := sharedEnv()
+	p := seed.New(seed.ConfigGPT(), env.Client, env.BIRD)
+	dev := env.BIRD.Dev
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := dev[i%len(dev)]
+			if _, err := p.GenerateEvidence(e.DB, e.Question); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		svc := evserve.New(evserve.Options{Variant: "bench", Generate: p.GenerateEvidence})
+		defer svc.Close()
+		ctx := context.Background()
+		for _, e := range dev {
+			if _, err := svc.Generate(ctx, e.DB, e.Question); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e := dev[i%len(dev)]
+			if _, err := svc.Generate(ctx, e.DB, e.Question); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEvserveWorkerScaling measures cold batch throughput of
+// GenerateAll across pool sizes. Each iteration uses a fresh cache so every
+// request pays for generation; the pipeline is shared (it is concurrency-
+// safe and its construction cost is not what is being measured). Simulated
+// generation is pure CPU, so throughput scales with pool size only up to
+// GOMAXPROCS — on a single-core machine the curve is flat; see
+// evserve.BenchmarkWorkerScalingLatencyBound for the latency-bound curve.
+func BenchmarkEvserveWorkerScaling(b *testing.B) {
+	env := sharedEnv()
+	p := seed.New(seed.ConfigGPT(), env.Client, env.BIRD)
+	dev := env.BIRD.Dev
+	n := len(dev)
+	if n > 64 {
+		n = 64
+	}
+	reqs := make([]evserve.Request, n)
+	for i, e := range dev[:n] {
+		reqs[i] = evserve.Request{DB: e.DB, Question: e.Question}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				svc := evserve.New(evserve.Options{
+					Variant:  "bench",
+					Generate: p.GenerateEvidence,
+					Workers:  workers,
+				})
+				if _, err := svc.GenerateAll(context.Background(), reqs); err != nil {
+					b.Fatal(err)
+				}
+				svc.Close()
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
 }
 
 // BenchmarkAblationCorpusBuild measures synthetic corpus generation,

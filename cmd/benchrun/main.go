@@ -5,6 +5,7 @@
 //
 //	benchrun -exp table4            # one experiment
 //	benchrun -exp all -sample 4     # everything, sampled dev for speed
+//	benchrun -exp all -stats        # plus the evidence-service throughput report
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -23,9 +24,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig2, fig3, table1..table7, all)")
 	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
 	sample := flag.Int("sample", 1, "evaluate every n-th dev example (1 = full split)")
+	stats := flag.Bool("stats", false, "print the evidence-service throughput report at the end")
 	flag.Parse()
 
 	env := experiments.NewEnv(*seedFlag)
+	defer env.Close()
 	run := func(id string) {
 		start := time.Now()
 		switch id {
@@ -58,7 +61,10 @@ func main() {
 		for _, id := range []string{"fig2", "table1", "table2", "table3", "table4", "table5", "table6", "table7", "fig3"} {
 			run(id)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+	if *stats {
+		fmt.Println(experiments.ThroughputReport(env).Render())
+	}
 }

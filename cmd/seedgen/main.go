@@ -1,18 +1,24 @@
 // Command seedgen runs the SEED pipeline over a corpus split and prints
-// the generated evidence, one line per question.
+// the generated evidence, one line per question. Generation goes through
+// the evserve service: a bounded worker pool fans the split out, identical
+// questions are deduplicated in flight, and repeats hit the evidence cache.
 //
 // Usage:
 //
 //	seedgen -corpus bird -variant gpt -limit 10
 //	seedgen -corpus spider -variant deepseek
+//	seedgen -corpus bird -workers 8 -cache 4096   # batch tuning
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/evserve"
 	"repro/internal/llm"
 	"repro/internal/seed"
 )
@@ -23,6 +29,8 @@ func main() {
 	limit := flag.Int("limit", 20, "maximum questions to process (0 = all)")
 	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
 	revise := flag.Bool("revise", false, "also print the SEED_revised form")
+	workers := flag.Int("workers", 0, "evidence worker pool size (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 4096, "evidence cache capacity in entries (negative disables)")
 	flag.Parse()
 
 	var corpus *dataset.Corpus
@@ -53,27 +61,50 @@ func main() {
 		fmt.Println("-- generated description files for all spider databases")
 	}
 
-	n := 0
-	for _, e := range corpus.Dev {
-		if *limit > 0 && n >= *limit {
-			break
-		}
-		n++
-		ev, err := p.GenerateEvidence(e.DB, e.Question)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+	svc := evserve.New(evserve.Options{
+		Variant:       string(cfg.Variant),
+		Generate:      p.GenerateEvidence,
+		Workers:       *workers,
+		CacheCapacity: *cacheSize,
+	})
+	defer svc.Close()
+
+	split := corpus.Dev
+	if *limit > 0 && *limit < len(split) {
+		split = split[:*limit]
+	}
+	reqs := make([]evserve.Request, len(split))
+	for i, e := range split {
+		reqs[i] = evserve.Request{DB: e.DB, Question: e.Question}
+	}
+	start := time.Now()
+	results, err := svc.GenerateAll(context.Background(), reqs)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "batch: %v\n", err)
+		os.Exit(1)
+	}
+
+	for i, r := range results {
+		e := split[i]
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, r.Err)
 			continue
 		}
-		fmt.Printf("[%s] %s\n  evidence: %s\n", e.ID, e.Question, ev)
+		fmt.Printf("[%s] %s\n  evidence: %s\n", e.ID, e.Question, r.Evidence)
 		if *revise {
-			rev, err := p.Revise(ev)
+			rev, err := p.Revise(r.Evidence)
 			if err == nil {
 				fmt.Printf("  revised:  %s\n", rev)
 			}
 		}
 	}
+
 	ledger := client.LedgerSnapshot()
-	fmt.Printf("\n-- %d questions, %d simulated LLM calls\n", n, ledger.TotalCalls())
+	fmt.Printf("\n-- %d questions in %v (%.0f q/s), %d simulated LLM calls\n",
+		len(split), elapsed.Round(time.Millisecond),
+		float64(len(split))/elapsed.Seconds(), ledger.TotalCalls())
+	fmt.Printf("-- %s\n", svc.Stats())
 	for model, u := range ledger.PerModel {
 		fmt.Printf("--   %s: %d calls, %d prompt tokens, %d completion tokens\n",
 			model, u.Calls, u.PromptTokens, u.CompletionTokens)

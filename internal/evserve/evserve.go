@@ -1,0 +1,315 @@
+// Package evserve promotes SEED evidence generation from a test-time memo
+// into a serving subsystem: a concurrent evidence-generation service that
+// wraps a generation function (normally seed.Pipeline.GenerateEvidence)
+// with three layers the paper's batch scripts lack:
+//
+//  1. A sharded LRU cache keyed by (db, variant, question-hash), so repeat
+//     questions — the common case for a deployed text-to-SQL assistant —
+//     cost a map lookup instead of a full pipeline run.
+//  2. Single-flight deduplication, so concurrent identical requests share
+//     one pipeline invocation instead of racing to do the same work.
+//  3. A bounded worker pool with a batch API (GenerateAll), replacing
+//     unbounded per-split goroutine fan-out with backpressure and
+//     context cancellation.
+//
+// Every layer exports counters (hits, misses, in-flight, dedups, batch
+// throughput) through Stats, which the benchrun CLI renders as the
+// throughput report.
+package evserve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// GenerateFunc produces evidence for one (database, question) pair. It must
+// be safe for concurrent use; seed.Pipeline.GenerateEvidence qualifies.
+type GenerateFunc func(dbName, question string) (string, error)
+
+// Options configures a Service.
+type Options struct {
+	// Variant names the evidence flavour this service produces (e.g.
+	// "seed_gpt"). It becomes part of every cache key, so services with
+	// distinct variants never serve each other's entries.
+	Variant string
+	// Generate is the wrapped generation function. Required.
+	Generate GenerateFunc
+	// Workers bounds the worker pool; 0 defaults to GOMAXPROCS.
+	Workers int
+	// CacheCapacity is the total cache size in entries; 0 defaults to
+	// 4096, negative disables caching entirely.
+	CacheCapacity int
+	// CacheShards is the shard count (rounded up to a power of two);
+	// 0 defaults to 16.
+	CacheShards int
+}
+
+// ErrClosed is returned by Generate and GenerateAll after Close.
+var ErrClosed = errors.New("evserve: service closed")
+
+// Request is one unit of batch work for GenerateAll.
+type Request struct {
+	// DB is the target database name.
+	DB string
+	// Question is the natural-language question to generate evidence for.
+	Question string
+}
+
+// Result pairs a Request with its outcome, in submission order.
+type Result struct {
+	// Request echoes the submitted request.
+	Request Request
+	// Evidence is the generated (or cached) evidence; empty on error.
+	Evidence string
+	// Err is the per-request failure, including ctx.Err() for requests
+	// abandoned by cancellation.
+	Err error
+}
+
+// Service is a concurrent, cached evidence-generation service. Construct
+// with New; the zero value is not usable. A Service is safe for concurrent
+// use by multiple goroutines.
+type Service struct {
+	opts   Options
+	cache  *Cache
+	flight flightGroup
+
+	jobs      chan job
+	workersWG sync.WaitGroup
+	closeOnce sync.Once
+	done      chan struct{}
+
+	inflight    atomic.Int64
+	dedups      atomic.Int64
+	generations atomic.Int64
+	failures    atomic.Int64
+	genNanos    atomic.Int64
+
+	batchCalls    atomic.Int64
+	batchRequests atomic.Int64
+	batchNanos    atomic.Int64
+}
+
+// job carries one batch request to a pool worker.
+type job struct {
+	ctx      context.Context
+	db       string
+	question string
+	out      *Result
+	wg       *sync.WaitGroup
+}
+
+// New builds and starts a Service; its worker pool runs until Close. It
+// panics if opts.Generate is nil, since a service with nothing to wrap is
+// a programming error, not a runtime condition.
+func New(opts Options) *Service {
+	if opts.Generate == nil {
+		panic("evserve: Options.Generate is required")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{
+		opts: opts,
+		jobs: make(chan job),
+		done: make(chan struct{}),
+	}
+	if opts.CacheCapacity >= 0 {
+		s.cache = NewCache(opts.CacheCapacity, opts.CacheShards)
+	}
+	s.workersWG.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// worker drains the job channel until Close. The jobs channel is unbuffered
+// and never closed: a send only completes when a worker receives it, so
+// every job that enters the pool is guaranteed a wg.Done.
+func (s *Service) worker() {
+	defer s.workersWG.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case j := <-s.jobs:
+			if err := j.ctx.Err(); err != nil {
+				j.out.Err = err
+				j.wg.Done()
+				continue
+			}
+			j.out.Evidence, j.out.Err = s.Generate(j.ctx, j.db, j.question)
+			j.wg.Done()
+		}
+	}
+}
+
+// Generate returns evidence for one question: from the cache when present,
+// otherwise by running the wrapped generation function — at most once per
+// key across concurrent callers. It does not use the worker pool, so it is
+// safe to call from inside another Service's GenerateFunc.
+func (s *Service) Generate(ctx context.Context, db, question string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	select {
+	case <-s.done:
+		return "", ErrClosed
+	default:
+	}
+	k := KeyFor(db, s.opts.Variant, question)
+	if s.cache != nil {
+		if v, ok := s.cache.Get(k); ok {
+			return v, nil
+		}
+	}
+	v, err, shared := s.flight.do(k, func() (string, error) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		start := time.Now()
+		ev, err := s.opts.Generate(db, question)
+		s.genNanos.Add(time.Since(start).Nanoseconds())
+		s.generations.Add(1)
+		if err != nil {
+			s.failures.Add(1)
+			return "", err
+		}
+		if s.cache != nil {
+			s.cache.Put(k, ev)
+		}
+		return ev, nil
+	})
+	if shared {
+		s.dedups.Add(1)
+	}
+	return v, err
+}
+
+// GenerateAll runs a batch of requests through the bounded worker pool and
+// returns one Result per request, in submission order. Cancelling ctx stops
+// submission and fails queued-but-unstarted requests with ctx.Err();
+// requests already generating run to completion. The returned error is
+// ctx.Err() when the batch was cancelled, ErrClosed when the service was
+// closed mid-batch, and nil otherwise — per-request failures are reported
+// on the individual Results only.
+func (s *Service) GenerateAll(ctx context.Context, reqs []Request) ([]Result, error) {
+	start := time.Now()
+	results := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	var batchErr error
+	submitted := 0
+submit:
+	for i := range reqs {
+		results[i].Request = reqs[i]
+		wg.Add(1)
+		select {
+		case s.jobs <- job{ctx: ctx, db: reqs[i].DB, question: reqs[i].Question, out: &results[i], wg: &wg}:
+			submitted++
+		case <-ctx.Done():
+			wg.Done()
+			for j := i; j < len(reqs); j++ {
+				results[j].Request = reqs[j]
+				results[j].Err = ctx.Err()
+			}
+			batchErr = ctx.Err()
+			break submit
+		case <-s.done:
+			wg.Done()
+			for j := i; j < len(reqs); j++ {
+				results[j].Request = reqs[j]
+				results[j].Err = ErrClosed
+			}
+			batchErr = ErrClosed
+			break submit
+		}
+	}
+	wg.Wait()
+	s.batchCalls.Add(1)
+	s.batchRequests.Add(int64(submitted))
+	s.batchNanos.Add(time.Since(start).Nanoseconds())
+	return results, batchErr
+}
+
+// Close stops the worker pool and waits for in-flight jobs to drain. It is
+// idempotent. Batches submitted concurrently with Close may observe
+// ErrClosed on their remaining requests.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() { close(s.done) })
+	s.workersWG.Wait()
+}
+
+// Stats is a point-in-time snapshot of the service's counters.
+type Stats struct {
+	// Variant echoes Options.Variant.
+	Variant string
+	// Workers echoes the resolved pool size.
+	Workers int
+	// Cache holds the cache counters; zero-valued when caching is off.
+	Cache CacheStats
+	// Inflight is the number of generations running right now.
+	Inflight int64
+	// Dedups counts requests that shared another caller's in-flight
+	// generation instead of starting their own.
+	Dedups int64
+	// Generations counts actual pipeline invocations (cache misses that
+	// won the single-flight race).
+	Generations int64
+	// Failures counts generations that returned an error.
+	Failures int64
+	// GenerationTime is the summed wall time of all generations.
+	GenerationTime time.Duration
+	// BatchCalls counts GenerateAll invocations.
+	BatchCalls int64
+	// BatchRequests counts requests actually handed to the pool across
+	// all batches; requests failed before submission (cancellation,
+	// Close) are excluded so Throughput is not overstated.
+	BatchRequests int64
+	// BatchTime is the summed wall time of all GenerateAll calls.
+	BatchTime time.Duration
+}
+
+// Throughput returns batch requests served per second of batch wall time,
+// or 0 before any batch has run.
+func (st Stats) Throughput() float64 {
+	if st.BatchTime <= 0 {
+		return 0
+	}
+	return float64(st.BatchRequests) / st.BatchTime.Seconds()
+}
+
+// String renders the snapshot as a one-line summary.
+func (st Stats) String() string {
+	return fmt.Sprintf(
+		"%s: %d workers, cache %d/%d/%d hit/miss/evict (%d entries), %d dedup, %d gen (%d failed) in %v, %d reqs in %d batches over %v (%.0f req/s)",
+		st.Variant, st.Workers,
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Entries,
+		st.Dedups, st.Generations, st.Failures, st.GenerationTime.Round(time.Microsecond),
+		st.BatchRequests, st.BatchCalls, st.BatchTime.Round(time.Microsecond), st.Throughput(),
+	)
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Variant:        s.opts.Variant,
+		Workers:        s.opts.Workers,
+		Inflight:       s.inflight.Load(),
+		Dedups:         s.dedups.Load(),
+		Generations:    s.generations.Load(),
+		Failures:       s.failures.Load(),
+		GenerationTime: time.Duration(s.genNanos.Load()),
+		BatchCalls:     s.batchCalls.Load(),
+		BatchRequests:  s.batchRequests.Load(),
+		BatchTime:      time.Duration(s.batchNanos.Load()),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}

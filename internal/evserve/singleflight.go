@@ -1,0 +1,45 @@
+package evserve
+
+import "sync"
+
+// flightCall is one in-flight generation shared by concurrent callers.
+type flightCall struct {
+	done chan struct{}
+	val  string
+	err  error
+}
+
+// flightGroup deduplicates concurrent work per key: the first caller for a
+// key runs fn, later callers for the same key block until that run finishes
+// and share its result. Unlike a cache this holds no history — the entry is
+// dropped the moment the call completes.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[Key]*flightCall
+}
+
+// do runs fn once per key among concurrent callers. The boolean result
+// reports whether this caller shared another caller's run instead of
+// executing fn itself.
+func (g *flightGroup) do(k Key, fn func() (string, error)) (string, error, bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[Key]*flightCall)
+	}
+	if c, ok := g.calls[k]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[k] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, k)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

@@ -189,3 +189,37 @@ func TestSampleEvery(t *testing.T) {
 		t.Errorf("sampleEvery(10,1) = %d, want 10", got)
 	}
 }
+
+// TestEvidenceAccessorsConcurrent exercises the lazy service construction
+// and stats snapshot from concurrent goroutines — under -race this guards
+// Env's lock discipline around the evidence services.
+func TestEvidenceAccessorsConcurrent(t *testing.T) {
+	e := testEnv(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if m := e.BIRDSeedEvidence(seed.VariantGPT); len(m) == 0 {
+				t.Error("empty gpt evidence map")
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if m := e.BIRDRevisedEvidence(); len(m) == 0 {
+				t.Error("empty revised evidence map")
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = e.EvidenceStats()
+			_ = ThroughputReport(e).Render()
+		}()
+	}
+	wg.Wait()
+	if got := len(e.EvidenceStats()); got < 2 {
+		t.Errorf("EvidenceStats lists %d services, want >= 2", got)
+	}
+}

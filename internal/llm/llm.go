@@ -143,7 +143,9 @@ type TaskFunc func(prompt string, m Model, rng *Rand) (string, error)
 
 // Request is one completion call.
 type Request struct {
-	Model  string
+	// Model is the registered model identifier, e.g. "gpt-4o".
+	Model string
+	// Prompt is the full request text.
 	Prompt string
 	// Salt differentiates repeated calls that must draw independent noise
 	// (e.g. C3's self-consistency votes).
@@ -156,10 +158,13 @@ type Request struct {
 
 // Response is the result of a completion call.
 type Response struct {
-	Text             string
+	// Text is the completion.
+	Text string
+	// PromptTokens and CompletionTokens count post-truncation usage.
 	PromptTokens     int
 	CompletionTokens int
-	Truncated        bool
+	// Truncated reports whether the prompt was cut to fit the window.
+	Truncated bool
 }
 
 // Client issues completion requests. Implementations must be safe for
@@ -273,13 +278,16 @@ func seedFor(parts ...string) uint64 {
 
 // Usage aggregates calls for one model.
 type Usage struct {
-	Calls            int
+	// Calls counts completions issued to the model.
+	Calls int
+	// PromptTokens and CompletionTokens sum token usage across calls.
 	PromptTokens     int
 	CompletionTokens int
 }
 
 // Ledger tracks per-model usage for cost reporting.
 type Ledger struct {
+	// PerModel maps model name to its accumulated usage.
 	PerModel map[string]Usage
 }
 

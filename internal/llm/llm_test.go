@@ -3,6 +3,7 @@ package llm
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -186,4 +187,63 @@ func TestRandChanceExtremes(t *testing.T) {
 	if r.Pick(0) != -1 {
 		t.Error("Pick(0) = -1")
 	}
+}
+
+// TestLedgerConcurrentComplete hammers one simulator from many goroutines,
+// the access pattern the evserve worker pool produces. Run under -race this
+// guards the ledger's lock discipline; the final counts check that no
+// recording was lost.
+func TestLedgerConcurrentComplete(t *testing.T) {
+	s := NewSimulator()
+	const goroutines = 8
+	const perG = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_, err := s.Complete(Request{
+					Model:  "gpt-4o",
+					Prompt: "concurrent prompt",
+					Salt:   string(rune('a' + g)),
+					Task:   echoTask,
+				})
+				if err != nil {
+					t.Errorf("Complete: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					_ = s.LedgerSnapshot() // concurrent reads must be safe too
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	ledger := s.LedgerSnapshot()
+	if got := ledger.TotalCalls(); got != goroutines*perG {
+		t.Errorf("ledger recorded %d calls, want %d", got, goroutines*perG)
+	}
+}
+
+// TestRegistryConcurrentAccess exercises RegisterModel against Lookup and
+// ModelNames from concurrent goroutines.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := "race-model-" + string(rune('a'+g))
+			for i := 0; i < 25; i++ {
+				RegisterModel(Model{Name: name, ContextWindow: 1000, Capability: 0.5, InstructionFollowing: 0.5})
+				if _, err := Lookup(name); err != nil {
+					t.Errorf("Lookup(%s): %v", name, err)
+					return
+				}
+				_ = ModelNames()
+			}
+		}(g)
+	}
+	wg.Wait()
 }

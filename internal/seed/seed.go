@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/embed"
@@ -43,6 +44,7 @@ const (
 
 // Config selects the SEED architecture and its base models.
 type Config struct {
+	// Variant names the architecture this configuration realises.
 	Variant Variant
 	// SampleModel runs keyword extraction and sample-SQL planning
 	// (gpt-4o-mini in the paper's GPT variant).
@@ -106,6 +108,7 @@ type Pipeline struct {
 	trainVecs []embed.Vector
 	trainByDB map[string][]int // corpus.Train indices per database
 
+	valueMu    sync.RWMutex
 	valueCache map[string][]string // "db\x00table\x00col" -> distinct values
 }
 
@@ -200,10 +203,15 @@ type tableView struct {
 // distinctValues returns (and caches) the distinct TEXT values of a
 // column, capped at MaxDistinct, pulled with real sample SQL against the
 // engine — the paper's "unique values are extracted regardless of the data
-// type".
+// type". The cache is prewarmed in New, but lookups of columns added later
+// (e.g. by generated description files) must stay safe under the evserve
+// worker pool, so access is lock-guarded.
 func (p *Pipeline) distinctValues(db *schema.DB, table, column string) []string {
 	key := db.Name + "\x00" + strings.ToLower(table) + "\x00" + strings.ToLower(column)
-	if vals, ok := p.valueCache[key]; ok {
+	p.valueMu.RLock()
+	vals, ok := p.valueCache[key]
+	p.valueMu.RUnlock()
+	if ok {
 		return vals
 	}
 	max := p.cfg.MaxDistinct
@@ -213,7 +221,7 @@ func (p *Pipeline) distinctValues(db *schema.DB, table, column string) []string 
 	sql := fmt.Sprintf("SELECT DISTINCT %s FROM %s ORDER BY %s LIMIT %d",
 		quoteIdent(column), quoteIdent(table), quoteIdent(column), max)
 	rows, err := db.Engine.Query(sql)
-	var vals []string
+	vals = nil
 	if err == nil {
 		for _, r := range rows.Data {
 			if len(r) > 0 && !r[0].IsNull() {
@@ -221,7 +229,9 @@ func (p *Pipeline) distinctValues(db *schema.DB, table, column string) []string 
 			}
 		}
 	}
+	p.valueMu.Lock()
 	p.valueCache[key] = vals
+	p.valueMu.Unlock()
 	return vals
 }
 

@@ -79,10 +79,13 @@ func (p *Pipeline) ExtractKeywords(question string) ([]string, error) {
 // Sample is one value surfaced by sample SQL execution: a keyword matched
 // against a stored column value.
 type Sample struct {
-	Table   string
-	Column  string
+	// Table and Column locate where the value is stored.
+	Table  string
+	Column string
+	// Keyword is the question keyword that matched.
 	Keyword string
-	Value   string
+	// Value is the stored value the keyword matched against.
+	Value string
 	// Sim is the match strength: 1 for exact, less for LIKE and
 	// edit-distance matches.
 	Sim float64
@@ -266,7 +269,9 @@ func relevanceScore(tv tableView, qStems map[string]bool) float64 {
 
 // Shot is one training exemplar placed in the generation prompt.
 type Shot struct {
+	// Question is the exemplar's natural-language question.
 	Question string
+	// Evidence is the exemplar's gold evidence string.
 	Evidence string
 	// Summarized marks exemplars passed through the deepseek variant's
 	// second summarization pass.
