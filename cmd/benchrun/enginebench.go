@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/sqlengine"
+	"repro/internal/texttosql"
+)
+
+// The -benchjson mode: an in-process perf snapshot of the SQL engine's hot
+// paths, written as machine-readable JSON so the perf trajectory is
+// comparable across PRs without a `go test -bench` harness. Measurements
+// mirror the sqlengine/eval benchmark suites: cold parse vs cached plan,
+// nested-loop vs hash join on the 3-table financial query, indexed vs
+// scanned point lookup, and a full Evaluate pass planner-on vs planner-off.
+
+// engineBenchReport is the BENCH_sqlengine.json schema.
+type engineBenchReport struct {
+	// GeneratedAt is the snapshot timestamp (RFC 3339).
+	GeneratedAt string `json:"generated_at"`
+	// GoVersion and NumCPU identify the measurement environment.
+	GoVersion string `json:"go_version"`
+	NumCPU    int    `json:"num_cpu"`
+	// Seed is the corpus generation seed the fixtures were built with.
+	Seed uint64 `json:"seed"`
+	// Benchmarks holds ns/op per measured path.
+	Benchmarks []engineBenchResult `json:"benchmarks"`
+	// Speedups holds the headline ratios derived from Benchmarks.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+type engineBenchResult struct {
+	Name   string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Ops    int     `json:"ops"`
+}
+
+// measure times fn repeatedly for at least minDur (and at least 5 ops) and
+// returns the mean ns/op.
+func measure(name string, minDur time.Duration, fn func()) engineBenchResult {
+	// Warm-up run (builds lazy indexes, fills caches where intended).
+	fn()
+	ops := 0
+	start := time.Now()
+	for time.Since(start) < minDur || ops < 5 {
+		fn()
+		ops++
+	}
+	elapsed := time.Since(start)
+	return engineBenchResult{
+		Name:    name,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
+		Ops:     ops,
+	}
+}
+
+// join3Query is the 3-table equi-join target, the same statement the
+// sqlengine benchmark suite uses.
+const join3Query = "SELECT c.client_id, a.account_id, a.frequency " +
+	"FROM client AS c JOIN disp AS d ON d.client_id = c.client_id " +
+	"JOIN account AS a ON a.account_id = d.account_id " +
+	"WHERE a.frequency = 'POPLATEK TYDNE' AND c.gender = 'F'"
+
+const pointQuery = "SELECT account_id, date FROM account WHERE account_id = 77"
+
+// goldEcho returns the gold SQL verbatim, isolating the evaluation
+// pipeline itself.
+type goldEcho struct{}
+
+func (goldEcho) Name() string                              { return "gold-echo" }
+func (goldEcho) Generate(t texttosql.Task) (string, error) { return t.Example.GoldSQL, nil }
+
+func writeEngineBench(path string, seed uint64) error {
+	financial := func(planner bool) *sqlengine.Database {
+		corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: seed})
+		db, ok := corpus.DB("financial")
+		if !ok {
+			panic("no financial DB in BIRD corpus")
+		}
+		db.Engine.SetPlanner(planner)
+		return db.Engine
+	}
+	evaluatePass := func(planner bool) func() {
+		corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: seed})
+		for _, db := range corpus.DBs {
+			db.Engine.SetPlanner(planner)
+		}
+		runner := eval.NewRunner(corpus)
+		return func() { runner.Evaluate(goldEcho{}, corpus.Dev, eval.NoEvidence) }
+	}
+
+	naive := financial(false)
+	planned := financial(true)
+	mustExec := func(eng *sqlengine.Database, q string) func() {
+		return func() {
+			if _, err := eng.Exec(q); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	const short = 150 * time.Millisecond
+	report := engineBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        seed,
+		Speedups:    map[string]float64{},
+	}
+	results := []engineBenchResult{
+		measure("parse_cold", short, func() {
+			if _, err := sqlengine.Parse(join3Query); err != nil {
+				panic(err)
+			}
+		}),
+		measure("plan_cached", short, func() {
+			if _, err := planned.Prepare(join3Query); err != nil {
+				panic(err)
+			}
+		}),
+		measure("join3_nested", 500*time.Millisecond, mustExec(naive, join3Query)),
+		measure("join3_hash", short, mustExec(planned, join3Query)),
+		measure("point_lookup_scan", short, mustExec(naive, pointQuery)),
+		measure("point_lookup_indexed", short, mustExec(planned, pointQuery)),
+		measure("evaluate_planner_off", time.Second, evaluatePass(false)),
+		measure("evaluate_planner_on", 500*time.Millisecond, evaluatePass(true)),
+	}
+	report.Benchmarks = results
+
+	byName := map[string]float64{}
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	ratio := func(num, den string) float64 {
+		if byName[den] == 0 {
+			return 0
+		}
+		return byName[num] / byName[den]
+	}
+	report.Speedups["prepare_vs_cold_parse"] = ratio("parse_cold", "plan_cached")
+	report.Speedups["join3_hash_vs_nested"] = ratio("join3_nested", "join3_hash")
+	report.Speedups["point_lookup_index_vs_scan"] = ratio("point_lookup_scan", "point_lookup_indexed")
+	report.Speedups["evaluate_planner_vs_naive"] = ratio("evaluate_planner_off", "evaluate_planner_on")
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	for k, v := range report.Speedups {
+		fmt.Printf("  %-28s %.1fx\n", k, v)
+	}
+	return nil
+}

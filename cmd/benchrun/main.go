@@ -5,7 +5,8 @@
 //
 //	benchrun -exp table4            # one experiment
 //	benchrun -exp all -sample 4     # everything, sampled dev for speed
-//	benchrun -exp all -stats        # plus the evidence-service throughput report
+//	benchrun -exp all -stats        # plus service throughput + plan cache reports
+//	benchrun -benchjson BENCH_sqlengine.json   # emit the engine perf snapshot and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -24,8 +25,17 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (fig2, fig3, table1..table7, all)")
 	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
 	sample := flag.Int("sample", 1, "evaluate every n-th dev example (1 = full split)")
-	stats := flag.Bool("stats", false, "print the evidence-service throughput report at the end")
+	stats := flag.Bool("stats", false, "print the evidence-service throughput and plan-cache reports at the end")
+	benchJSON := flag.String("benchjson", "", "write the sqlengine perf snapshot (cold parse, cached plan, nested vs hash join, Evaluate pass) to this JSON file and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := writeEngineBench(*benchJSON, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	env := experiments.NewEnv(*seedFlag)
 	defer env.Close()
@@ -66,5 +76,6 @@ func main() {
 	}
 	if *stats {
 		fmt.Println(experiments.ThroughputReport(env).Render())
+		fmt.Println(experiments.PlanCacheReport(env).Render())
 	}
 }

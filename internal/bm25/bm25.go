@@ -5,6 +5,7 @@
 package bm25
 
 import (
+	"container/heap"
 	"math"
 	"sort"
 
@@ -61,7 +62,12 @@ func (idx *Index) Doc(i int) string { return idx.docs[i] }
 
 // Score computes the BM25 score of query against document i.
 func (idx *Index) Score(query string, i int) float64 {
-	qToks := stemAll(textutil.Tokenize(query))
+	return idx.scoreTokens(stemAll(textutil.Tokenize(query)), i)
+}
+
+// scoreTokens scores document i against an already tokenised-and-stemmed
+// query; TopK hoists the query processing out of its per-document loop.
+func (idx *Index) scoreTokens(qToks []string, i int) float64 {
 	tf := make(map[string]int)
 	for _, t := range idx.tokens[i] {
 		tf[t]++
@@ -89,25 +95,83 @@ type Result struct {
 
 // TopK returns the k highest-scoring documents for query, highest first.
 // Zero-score documents are omitted; ties break by document index for
-// determinism.
+// determinism. A negative k returns every scoring document.
+//
+// Selection uses a bounded min-heap, so a top-k query over n documents is
+// O(n log k) rather than the O(n log n) of sorting every hit; the result
+// is identical to sorting (topKSorted is kept as the test oracle). The
+// query is tokenised once for the whole pass, not once per document.
 func (idx *Index) TopK(query string, k int) []Result {
+	if k < 0 {
+		return idx.topKSorted(stemAll(textutil.Tokenize(query)), k)
+	}
+	if k == 0 {
+		return nil
+	}
+	qToks := stemAll(textutil.Tokenize(query))
+	h := make(resultMinHeap, 0, k)
+	for i := range idx.docs {
+		s := idx.scoreTokens(qToks, i)
+		if s <= 0 {
+			continue
+		}
+		r := Result{Index: i, Score: s}
+		if len(h) < k {
+			heap.Push(&h, r)
+			continue
+		}
+		// Replace the current worst only when r outranks it under the
+		// (score desc, index asc) total order.
+		if worse(h[0], r) {
+			h[0] = r
+			heap.Fix(&h, 0)
+		}
+	}
+	results := []Result(h)
+	sort.Slice(results, func(a, c int) bool { return worse(results[c], results[a]) })
+	return results
+}
+
+// topKSorted is the full-sort selection path: score everything, sort, cut.
+// It is the reference TopK must match and the fallback for k < 0.
+func (idx *Index) topKSorted(qToks []string, k int) []Result {
 	var results []Result
 	for i := range idx.docs {
-		s := idx.Score(query, i)
+		s := idx.scoreTokens(qToks, i)
 		if s > 0 {
 			results = append(results, Result{Index: i, Score: s})
 		}
 	}
-	sort.Slice(results, func(a, c int) bool {
-		if results[a].Score != results[c].Score {
-			return results[a].Score > results[c].Score
-		}
-		return results[a].Index < results[c].Index
-	})
+	sort.Slice(results, func(a, c int) bool { return worse(results[c], results[a]) })
 	if k >= 0 && len(results) > k {
 		results = results[:k]
 	}
 	return results
+}
+
+// worse reports whether a ranks strictly below b in the deterministic
+// retrieval order: higher score first, lower index on ties.
+func worse(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.Index > b.Index
+}
+
+// resultMinHeap keeps the current top-k with the worst-ranked result at the
+// root, so one comparison decides whether a new document displaces it.
+type resultMinHeap []Result
+
+func (h resultMinHeap) Len() int            { return len(h) }
+func (h resultMinHeap) Less(i, j int) bool  { return worse(h[i], h[j]) }
+func (h resultMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultMinHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultMinHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
 }
 
 func stemAll(toks []string) []string {

@@ -1,8 +1,12 @@
 package bm25
 
 import (
+	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/textutil"
 )
 
 var corpus = []string{
@@ -87,4 +91,71 @@ func TestScoreProperties(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestTopKHeapMatchesSort pins the bounded-heap selection against the
+// full-sort oracle for every k on randomised document sets: same hits,
+// same order, same scores.
+func TestTopKHeapMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	words := []string{"account", "loan", "status", "district", "client",
+		"weekly", "monthly", "issuance", "gender", "school", "driver", "rate"}
+	for trial := 0; trial < 25; trial++ {
+		nDocs := 1 + rng.Intn(60)
+		docs := make([]string, nDocs)
+		for i := range docs {
+			n := 2 + rng.Intn(8)
+			parts := make([]string, n)
+			for j := range parts {
+				parts[j] = words[rng.Intn(len(words))]
+			}
+			docs[i] = strings.Join(parts, " ")
+		}
+		idx := New(docs)
+		query := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		qToks := stemAll(textutil.Tokenize(query))
+		for _, k := range []int{0, 1, 2, 5, nDocs, nDocs * 2, -1} {
+			got := idx.TopK(query, k)
+			want := idx.topKSorted(qToks, k)
+			if len(got) != len(want) {
+				t.Fatalf("k=%d: len %d vs %d", k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("k=%d pos %d: heap %v vs sort %v", k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTopK contrasts the bounded heap with the full sort over a large
+// document set at the retrieval sizes the CodeS baseline uses (k=5).
+func BenchmarkTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"account", "loan", "status", "district", "client",
+		"weekly", "monthly", "issuance", "gender", "school", "driver", "rate",
+		"payment", "duration", "owner", "branch", "region", "code"}
+	docs := make([]string, 5000)
+	for i := range docs {
+		n := 3 + rng.Intn(10)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		docs[i] = strings.Join(parts, " ")
+	}
+	idx := New(docs)
+	const query = "weekly issuance account district"
+	qToks := stemAll(textutil.Tokenize(query))
+	b.Run("heap-k5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.TopK(query, 5)
+		}
+	})
+	b.Run("sort-k5", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx.topKSorted(qToks, 5)
+		}
+	})
 }

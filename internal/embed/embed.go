@@ -9,6 +9,7 @@ package embed
 import (
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"repro/internal/textutil"
 )
@@ -23,14 +24,48 @@ type Vector [Dim]float32
 // Model converts text to vectors. The zero Model is ready to use; it exists
 // as a type (rather than free functions) so pipelines can hold it where the
 // paper holds an embedding model handle.
-type Model struct{}
+//
+// Embed memoises: the embedding is deterministic, and the pipelines embed
+// the same texts over and over (every evidence variant re-embeds the same
+// dev questions; Rank re-embeds its candidate pool on every call), so a
+// bounded cache turns repeat embeddings into a map lookup. The memo is
+// concurrency-safe — evidence-service workers share one Model.
+type Model struct {
+	mu   sync.Mutex
+	memo map[string]Vector
+}
+
+// memoCap bounds the embedding memo. When full the memo resets rather than
+// tracking recency: embedding workloads are corpus-sized (thousands of
+// questions), so a reset is rare and refilling is cheap.
+const memoCap = 8192
 
 // NewModel returns the deterministic embedding model.
 func NewModel() *Model { return &Model{} }
 
 // Embed maps text to an L2-normalised vector. Identical text always yields
-// an identical vector.
+// an identical vector; repeat calls are served from the memo.
 func (m *Model) Embed(text string) Vector {
+	m.mu.Lock()
+	if v, ok := m.memo[text]; ok {
+		m.mu.Unlock()
+		return v
+	}
+	m.mu.Unlock()
+
+	v := embedText(text)
+
+	m.mu.Lock()
+	if m.memo == nil || len(m.memo) >= memoCap {
+		m.memo = make(map[string]Vector, 256)
+	}
+	m.memo[text] = v
+	m.mu.Unlock()
+	return v
+}
+
+// embedText is the uncached embedding computation.
+func embedText(text string) Vector {
 	var v Vector
 	words := textutil.Tokenize(text)
 	for _, w := range words {
@@ -88,16 +123,29 @@ func Cosine(a, b Vector) float64 {
 
 // Rank orders candidate texts by descending cosine similarity to query and
 // returns candidate indices. Ties break by lower index, keeping results
-// deterministic.
+// deterministic. Candidate embeddings come from the memo, so ranking the
+// same pool against many queries embeds each candidate once; callers that
+// already hold vectors should use RankVectors directly.
 func (m *Model) Rank(query string, candidates []string) []int {
+	vecs := make([]Vector, len(candidates))
+	for i, c := range candidates {
+		vecs[i] = m.Embed(c)
+	}
+	return m.RankVectors(query, vecs)
+}
+
+// RankVectors is Rank over precomputed candidate vectors: it orders the
+// candidates by descending cosine similarity to query and returns their
+// indices, ties broken by lower index.
+func (m *Model) RankVectors(query string, vecs []Vector) []int {
 	qv := m.Embed(query)
 	type scored struct {
 		idx int
 		sim float64
 	}
-	items := make([]scored, len(candidates))
-	for i, c := range candidates {
-		items[i] = scored{i, Cosine(qv, m.Embed(c))}
+	items := make([]scored, len(vecs))
+	for i, cv := range vecs {
+		items[i] = scored{i, Cosine(qv, cv)}
 	}
 	// Insertion sort keeps determinism and is fast at few-shot scales.
 	for i := 1; i < len(items); i++ {

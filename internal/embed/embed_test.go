@@ -1,7 +1,9 @@
 package embed
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -78,4 +80,89 @@ func TestEmbedWhitespaceInvariant(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestEmbedMemoised pins that memoised embeddings are identical to fresh
+// computation, across repeat calls and past the memo reset boundary.
+func TestEmbedMemoised(t *testing.T) {
+	m := NewModel()
+	texts := []string{
+		"How many accounts issue statements weekly?",
+		"List the clients with loans in south Bohemia",
+		"",
+		"weekly weekly weekly",
+	}
+	for _, s := range texts {
+		fresh := embedText(s)
+		if m.Embed(s) != fresh {
+			t.Fatalf("first Embed(%q) differs from direct computation", s)
+		}
+		if m.Embed(s) != fresh {
+			t.Fatalf("memoised Embed(%q) differs from direct computation", s)
+		}
+	}
+}
+
+// TestRankVectorsMatchesRank pins that Rank and RankVectors agree.
+func TestRankVectorsMatchesRank(t *testing.T) {
+	m := NewModel()
+	cands := []string{
+		"weekly statement issuance",
+		"monthly loan payments",
+		"school district enrolment",
+		"weekly issuance of statements",
+	}
+	vecs := make([]Vector, len(cands))
+	for i, c := range cands {
+		vecs[i] = m.Embed(c)
+	}
+	q := "which accounts issue weekly statements"
+	a, b := m.Rank(q, cands), m.RankVectors(q, vecs)
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Rank %v != RankVectors %v", a, b)
+		}
+	}
+}
+
+// TestEmbedConcurrent exercises the memo under -race.
+func TestEmbedConcurrent(t *testing.T) {
+	m := NewModel()
+	want := m.Embed("shared question")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if m.Embed("shared question") != want {
+					t.Error("memoised vector drifted")
+					return
+				}
+				m.Embed(fmt.Sprintf("unique question %d-%d", w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// BenchmarkEmbed contrasts cold embedding with memo hits.
+func BenchmarkEmbed(b *testing.B) {
+	const q = "How many accounts issue statements weekly in south Bohemia?"
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			embedText(q)
+		}
+	})
+	b.Run("memoised", func(b *testing.B) {
+		m := NewModel()
+		m.Embed(q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Embed(q)
+		}
+	})
 }

@@ -49,13 +49,14 @@ func ResultsEqual(gold, pred *sqlengine.Rows, ordered bool) bool {
 
 func rowKeys(rows *sqlengine.Rows) []string {
 	out := make([]string, len(rows.Data))
+	var buf []byte
 	for i, r := range rows.Data {
-		var sb strings.Builder
+		buf = buf[:0]
 		for _, v := range r {
-			sb.WriteString(v.Key())
-			sb.WriteByte(0)
+			buf = v.AppendKey(buf)
+			buf = append(buf, 0)
 		}
-		out[i] = sb.String()
+		out[i] = string(buf)
 	}
 	return out
 }
@@ -99,6 +100,9 @@ func (j *Judge) goldFor(db *schema.DB, e dataset.Example) *goldEntry {
 	entry = &goldEntry{
 		ordered: strings.Contains(strings.ToUpper(e.GoldSQL), "ORDER BY"),
 	}
+	// Engine.Exec rides the database's prepared-plan cache: the gold query
+	// is parsed and planned once, then replayed for every prediction and
+	// evidence condition that scores against it.
 	res, err := db.Engine.Exec(e.GoldSQL)
 	if err != nil {
 		entry.err = err

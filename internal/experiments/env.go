@@ -15,6 +15,7 @@ import (
 	"repro/internal/evserve"
 	"repro/internal/llm"
 	"repro/internal/seed"
+	"repro/internal/sqlengine"
 )
 
 // Env holds the corpora, simulator and the evidence-generation services
@@ -169,6 +170,39 @@ func (e *Env) EvidenceStats() []evserve.Stats {
 		}
 	}
 	return out
+}
+
+// PlanCacheReport renders the SQL engines' prepared-plan cache counters,
+// aggregated per corpus. Every gold and predicted query the experiment
+// drivers execute flows through these caches (eval prepares statements on
+// the corpus engines), so the hit ratio is the direct measure of how much
+// parse-and-plan work the evaluation hot path is skipping.
+func PlanCacheReport(env *Env) *Table {
+	t := &Table{
+		Title:  "SQL plan cache",
+		Header: []string{"corpus", "hits", "misses", "evictions", "entries"},
+	}
+	for _, c := range []*dataset.Corpus{env.BIRD, env.Spider} {
+		if c == nil {
+			continue
+		}
+		var agg sqlengine.PlanCacheStats
+		for _, db := range c.DBs {
+			st := db.Engine.PlanCacheStats()
+			agg.Hits += st.Hits
+			agg.Misses += st.Misses
+			agg.Evictions += st.Evictions
+			agg.Entries += st.Entries
+		}
+		t.Rows = append(t.Rows, []string{
+			c.Name,
+			fmt.Sprint(agg.Hits),
+			fmt.Sprint(agg.Misses),
+			fmt.Sprint(agg.Evictions),
+			fmt.Sprint(agg.Entries),
+		})
+	}
+	return t
 }
 
 // ThroughputReport renders the evidence services' cache and batch counters

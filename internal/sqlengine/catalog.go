@@ -3,6 +3,7 @@ package sqlengine
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Column describes one column of a table.
@@ -22,6 +23,20 @@ type Table struct {
 	Rows        [][]Value
 
 	colIndex map[string]int // lower-case column name -> position
+
+	// idxMu guards eqIdx. Indexes are built lazily by concurrent read-only
+	// queries; any DML drops them (the Database contract already forbids
+	// mutation concurrent with queries).
+	idxMu sync.Mutex
+	eqIdx map[int]*colEqIndex // column position -> equality index
+}
+
+// colEqIndex is a lazily built point-lookup index over one column: the
+// planner's coarse join key mapped to ascending row positions. Ascending
+// order matters — it makes an index scan emit rows in exactly the order a
+// full scan would, which the plan/naive equivalence guarantee relies on.
+type colEqIndex struct {
+	buckets map[string][]int
 }
 
 func newTable(name string, cols []Column, fks []ForeignKeyDef) *Table {
@@ -30,6 +45,42 @@ func newTable(name string, cols []Column, fks []ForeignKeyDef) *Table {
 		t.colIndex[strings.ToLower(c.Name)] = i
 	}
 	return t
+}
+
+// eqLookup returns the positions (ascending) of rows whose column col may
+// equal a value with coarse key key, building the column's index on first
+// use. Callers must re-verify candidates with real SQL equality: the coarse
+// key over-approximates (see coarseKey).
+func (t *Table) eqLookup(col int, key string) []int {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.eqIdx == nil {
+		t.eqIdx = make(map[int]*colEqIndex)
+	}
+	idx, ok := t.eqIdx[col]
+	if !ok {
+		idx = &colEqIndex{buckets: make(map[string][]int)}
+		var buf []byte
+		for ri, row := range t.Rows {
+			v := row[col]
+			if v.IsNull() {
+				continue
+			}
+			buf = coarseKey(buf[:0], v)
+			k := string(buf)
+			idx.buckets[k] = append(idx.buckets[k], ri)
+		}
+		t.eqIdx[col] = idx
+	}
+	return idx.buckets[key]
+}
+
+// invalidateIndexes drops all lazily built equality indexes. Every DML path
+// (INSERT/UPDATE/DELETE) calls it so index reads never see stale rows.
+func (t *Table) invalidateIndexes() {
+	t.idxMu.Lock()
+	t.eqIdx = nil
+	t.idxMu.Unlock()
 }
 
 // ColumnIndex returns the position of the named column (case-insensitive),
@@ -65,12 +116,22 @@ type Database struct {
 	Name   string
 	tables map[string]*Table
 	order  []string
+
+	plans      *planCache
+	plannerOff bool
 }
 
 // NewDatabase returns an empty database with the given name.
 func NewDatabase(name string) *Database {
-	return &Database{Name: name, tables: make(map[string]*Table)}
+	return &Database{Name: name, tables: make(map[string]*Table), plans: newPlanCache(0, 0)}
 }
+
+// SetPlanner enables or disables the query planner (plan-driven hash joins,
+// predicate pushdown and point-lookup indexes). The planner is on by
+// default; turning it off forces the naive executor, which by construction
+// produces identical rows and identical Cost — the switch exists for the
+// equivalence tests and the nested-vs-hash benchmarks.
+func (db *Database) SetPlanner(enabled bool) { db.plannerOff = !enabled }
 
 // Table returns the named table (case-insensitive).
 func (db *Database) Table(name string) (*Table, bool) {
@@ -153,6 +214,7 @@ func (t *Table) insertRow(cols []string, vals []Value) error {
 		}
 	}
 	t.Rows = append(t.Rows, row)
+	t.invalidateIndexes()
 	return nil
 }
 

@@ -12,22 +12,31 @@ type Rows struct {
 	Data    [][]Value
 }
 
-// Result is the outcome of executing any statement. Cost counts the rows the
-// executor touched (scans, join pairs, subquery work); it is the
+// Result is the outcome of executing any statement. Cost counts the rows
+// the naive executor touches (scans, join pairs, subquery work); it is the
 // deterministic stand-in for execution time used by the VES metric.
+//
+// Cost is a *logical* measure, independent of the physical plan: when the
+// planner substitutes a hash join for a nested loop or pushes a predicate
+// below a join, it still charges exactly the rows the naive plan would
+// have touched. That plan-independence is what keeps VES — and every
+// experiment table derived from it — stable while wall-clock time drops;
+// see the contract notes in planner.go.
 type Result struct {
 	Rows         *Rows
 	RowsAffected int64
 	Cost         int64
 }
 
-// Exec parses and executes a single statement.
+// Exec parses and executes a single statement. Parsing and planning go
+// through the database's prepared-plan cache, so repeat executions of the
+// same statement text skip both.
 func (db *Database) Exec(sql string) (*Result, error) {
-	st, err := Parse(sql)
+	st, err := db.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(st)
+	return st.Exec()
 }
 
 // Query parses and executes a statement that must produce rows.
@@ -52,9 +61,16 @@ func (db *Database) MustExec(sql string) *Result {
 	return res
 }
 
-// ExecStmt executes an already-parsed statement.
+// ExecStmt executes an already-parsed statement. Statements executed this
+// way bypass the plan cache and run unplanned; use Prepare to get planned
+// execution for a hand-built AST.
 func (db *Database) ExecStmt(st Statement) (*Result, error) {
 	ec := &execCtx{db: db}
+	return ec.execStatement(st)
+}
+
+func (ec *execCtx) execStatement(st Statement) (*Result, error) {
+	db := ec.db
 	switch s := st.(type) {
 	case *SelectStmt:
 		rows, err := ec.execSelect(s, nil)
@@ -90,11 +106,17 @@ func (db *Database) ExecStmt(st Statement) (*Result, error) {
 	}
 }
 
-// execCtx carries per-execution state: the database and the cost counter.
+// execCtx carries per-execution state: the database, the cost counter and
+// the planner's per-SELECT analysis (nil for unplanned execution — the
+// executor then behaves exactly like the pre-planner naive engine).
 type execCtx struct {
-	db   *Database
-	cost int64
+	db    *Database
+	cost  int64
+	plans map[*SelectStmt]*selectPlan
 }
+
+// planFor returns the plan for sel, nil when executing unplanned.
+func (ec *execCtx) planFor(sel *SelectStmt) *selectPlan { return ec.plans[sel] }
 
 // maxCost bounds runaway queries (e.g. accidental cross joins in predicted
 // SQL). Exceeding it aborts execution with an error, which the evaluation
@@ -153,10 +175,15 @@ func (s *scope) resolve(table, name string) (Value, error) {
 	return Value{}, fmt.Errorf("sqlengine: no such column: %s", name)
 }
 
-// rowSet is an intermediate relation during FROM evaluation.
+// rowSet is an intermediate relation during FROM evaluation. logical is
+// the cardinality the *naive* executor's relation would have at this point
+// in the pipeline: it differs from len(rows) only when predicate pushdown
+// filtered a scan, and it is what join charges are computed from so that
+// Cost stays plan-independent.
 type rowSet struct {
-	cols []scopeCol
-	rows [][]Value
+	cols    []scopeCol
+	rows    [][]Value
+	logical int
 }
 
 // --- SELECT execution ---
@@ -193,7 +220,9 @@ func (ec *execCtx) execSelect(sel *SelectStmt, outer *scope) (*Rows, error) {
 }
 
 // execSelectCoreOnly executes one arm of a compound select, ignoring the
-// ORDER BY/LIMIT tail which belongs to the whole compound.
+// ORDER BY/LIMIT tail which belongs to the whole compound. The clone shares
+// the arm's FROM/WHERE, so the arm's plan (keyed by the original pointer)
+// still applies.
 func (ec *execCtx) execSelectCoreOnly(sel *SelectStmt, outer *scope) (*Rows, error) {
 	clone := *sel
 	clone.Compound = CompoundNone
@@ -201,17 +230,18 @@ func (ec *execCtx) execSelectCoreOnly(sel *SelectStmt, outer *scope) (*Rows, err
 	clone.OrderBy = nil
 	clone.Limit = nil
 	clone.Offset = nil
-	return ec.execSelectSimple(&clone, outer)
+	return ec.execSelectPlanned(&clone, outer, ec.planFor(sel))
 }
 
 func combineRows(a, b *Rows, op CompoundOp) *Rows {
+	var buf []byte
 	keyOf := func(r []Value) string {
-		var sb strings.Builder
+		buf = buf[:0]
 		for _, v := range r {
-			sb.WriteString(v.Key())
-			sb.WriteByte('\x00')
+			buf = v.AppendKey(buf)
+			buf = append(buf, '\x00')
 		}
-		return sb.String()
+		return string(buf)
 	}
 	out := &Rows{Columns: a.Columns}
 	switch op {
@@ -273,17 +303,51 @@ func (o *selOutput) add(vals []Value, env *evalEnv) {
 func (o *selOutput) rows() *Rows { return &Rows{Columns: o.columns, Data: o.data} }
 
 func (ec *execCtx) execSelectSimple(sel *SelectStmt, outer *scope) (*Rows, error) {
-	// 1. FROM
-	src, err := ec.execFrom(sel.From, outer)
+	return ec.execSelectPlanned(sel, outer, ec.planFor(sel))
+}
+
+func (ec *execCtx) execSelectPlanned(sel *SelectStmt, outer *scope, pl *selectPlan) (*Rows, error) {
+	// 1. FROM (with pushdown placement when the plan allows it)
+	src, fp, err := ec.execFrom(sel, outer, pl)
 	if err != nil {
 		return nil, err
 	}
-	// 2. WHERE
+	// 2. WHERE. The scope and environment are reused across rows: filter
+	// environments are never retained (unlike projection environments,
+	// which ORDER BY may consult later).
 	var filtered [][]Value
-	if sel.Where != nil {
-		for _, row := range src.rows {
-			sc := &scope{cols: src.cols, row: row, parent: outer}
+	if fp != nil {
+		// Pushdown ran: pushed conjuncts were applied during the scans and
+		// every conjunct is safe-total, so a row passes the original WHERE
+		// iff every residual conjunct is true on it.
+		if len(fp.residual) == 0 {
+			filtered = src.rows
+		} else {
+			sc := &scope{cols: src.cols, parent: outer}
 			env := &evalEnv{ec: ec, sc: sc}
+			for _, row := range src.rows {
+				sc.row = row
+				pass := true
+				for _, e := range fp.residual {
+					v, err := env.eval(e)
+					if err != nil {
+						return nil, err
+					}
+					if t, known := v.Truth(); !t || !known {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					filtered = append(filtered, row)
+				}
+			}
+		}
+	} else if sel.Where != nil {
+		sc := &scope{cols: src.cols, parent: outer}
+		env := &evalEnv{ec: ec, sc: sc}
+		for _, row := range src.rows {
+			sc.row = row
 			v, err := env.eval(sel.Where)
 			if err != nil {
 				return nil, err
@@ -432,13 +496,14 @@ func dedupeOutput(out *selOutput) {
 	seen := make(map[string]bool, len(out.data))
 	var data [][]Value
 	var envs []*evalEnv
+	var buf []byte
 	for i, r := range out.data {
-		var sb strings.Builder
+		buf = buf[:0]
 		for _, v := range r {
-			sb.WriteString(v.Key())
-			sb.WriteByte('\x00')
+			buf = v.AppendKey(buf)
+			buf = append(buf, '\x00')
 		}
-		k := sb.String()
+		k := string(buf)
 		if !seen[k] {
 			seen[k] = true
 			data = append(data, r)
@@ -582,36 +647,52 @@ func (ec *execCtx) projectGrouped(sel *SelectStmt, src *rowSet, rows [][]Value, 
 
 // --- FROM evaluation ---
 
-func (ec *execCtx) execFrom(items []FromItem, outer *scope) (*rowSet, error) {
+func (ec *execCtx) execFrom(sel *SelectStmt, outer *scope, pl *selectPlan) (*rowSet, *fromPlan, error) {
+	items := sel.From
 	if len(items) == 0 {
 		// SELECT without FROM: a single empty row.
-		return &rowSet{rows: [][]Value{{}}}, nil
+		return &rowSet{rows: [][]Value{{}}, logical: 1}, nil, nil
 	}
-	acc, err := ec.execFromItem(&items[0], outer)
+	fp := ec.planFrom(pl, sel, outer)
+	pushedFor := func(i int) []conjunct {
+		if fp == nil {
+			return nil
+		}
+		return fp.pushed[i]
+	}
+	acc, err := ec.execFromItem(&items[0], outer, pushedFor(0))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i := 1; i < len(items); i++ {
-		right, err := ec.execFromItem(&items[i], outer)
+		right, err := ec.execFromItem(&items[i], outer, pushedFor(i))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		acc, err = ec.join(acc, right, items[i].Join, items[i].On, outer)
+		var ja *joinAnalysis
+		if pl != nil && pl.joins != nil {
+			ja = pl.joins[i]
+		}
+		acc, err = ec.join(acc, right, items[i].Join, items[i].On, outer, ja)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return acc, nil
+	return acc, fp, nil
 }
 
-func (ec *execCtx) execFromItem(item *FromItem, outer *scope) (*rowSet, error) {
+// execFromItem materialises one FROM item. pushed holds the WHERE conjuncts
+// the planner placed at this scan (always nil for subquery items and for
+// unplanned execution). The scan is charged at full table size whether or
+// not pushdown filters it — that is the naive executor's charge.
+func (ec *execCtx) execFromItem(item *FromItem, outer *scope, pushed []conjunct) (*rowSet, error) {
 	name := strings.ToLower(item.Name())
 	if item.Sub != nil {
 		sub, err := ec.execSelect(item.Sub, outer)
 		if err != nil {
 			return nil, err
 		}
-		rs := &rowSet{rows: sub.Data}
+		rs := &rowSet{rows: sub.Data, logical: len(sub.Data)}
 		for _, c := range sub.Columns {
 			rs.cols = append(rs.cols, scopeCol{table: name, name: strings.ToLower(c)})
 		}
@@ -624,31 +705,94 @@ func (ec *execCtx) execFromItem(item *FromItem, outer *scope) (*rowSet, error) {
 	if err := ec.charge(int64(len(t.Rows))); err != nil {
 		return nil, err
 	}
-	rs := &rowSet{rows: t.Rows}
+	rs := &rowSet{logical: len(t.Rows)}
 	for _, c := range t.Columns {
 		rs.cols = append(rs.cols, scopeCol{table: name, name: strings.ToLower(c.Name)})
 	}
+	if len(pushed) == 0 {
+		rs.rows = t.Rows
+		return rs, nil
+	}
+
+	// Point-lookup fast path: the first pushed `col = literal` conjunct
+	// narrows the scan to the column's equality-index bucket. Buckets hold
+	// ascending row positions, so emission order matches a full scan; every
+	// candidate still passes through the full pushed-conjunct filter below,
+	// which re-verifies the indexed equality with real `=` semantics.
+	rows := t.Rows
+	for _, c := range pushed {
+		if c.eqLit == nil {
+			continue
+		}
+		col, n := resolveCols(rs.cols, c.eqLit.col.Table, c.eqLit.col.Name)
+		if n != 1 {
+			continue
+		}
+		if c.eqLit.lit.IsNull() {
+			// `col = NULL` is never true: the scan yields nothing.
+			return rs, nil
+		}
+		bucket := t.eqLookup(col, string(coarseKey(nil, c.eqLit.lit)))
+		rows = make([][]Value, len(bucket))
+		for i, ri := range bucket {
+			rows[i] = t.Rows[ri]
+		}
+		break
+	}
+
+	sc := &scope{cols: rs.cols, parent: outer}
+	env := &evalEnv{ec: ec, sc: sc}
+	out := make([][]Value, 0, len(rows))
+	for _, row := range rows {
+		sc.row = row
+		pass := true
+		for _, c := range pushed {
+			v, err := env.eval(c.expr)
+			if err != nil {
+				return nil, err
+			}
+			if t, known := v.Truth(); !t || !known {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			out = append(out, row)
+		}
+	}
+	rs.rows = out
 	return rs, nil
 }
 
-func (ec *execCtx) join(left, right *rowSet, jt JoinType, on Expr, outer *scope) (*rowSet, error) {
+// join combines two relations. The logical pair count |L|·|R| is charged up
+// front — exactly the naive nested loop's total, and computed from the
+// inputs' logical cardinalities so that pushdown-filtered scans do not
+// change the charge. With a usable plan the join runs as a hash join;
+// otherwise the nested loop below runs with one reusable pair buffer and
+// environment (fresh slices are allocated only for emitted rows).
+func (ec *execCtx) join(left, right *rowSet, jt JoinType, on Expr, outer *scope, ja *joinAnalysis) (*rowSet, error) {
+	if err := ec.charge(int64(left.logical) * int64(right.logical)); err != nil {
+		return nil, err
+	}
+	if on != nil && ja != nil && ja.safe {
+		if equis, residual, ok := resolveHashJoin(left, right, ja, outer); ok {
+			return ec.hashJoin(left, right, jt, equis, residual, outer)
+		}
+	}
 	cols := make([]scopeCol, 0, len(left.cols)+len(right.cols))
 	cols = append(cols, left.cols...)
 	cols = append(cols, right.cols...)
 	out := &rowSet{cols: cols}
 	nullRight := make([]Value, len(right.cols))
+	buf := make([]Value, len(cols))
+	sc := &scope{cols: cols, row: buf, parent: outer}
+	env := &evalEnv{ec: ec, sc: sc}
 	for _, lr := range left.rows {
 		matched := false
+		copy(buf, lr)
 		for _, rr := range right.rows {
-			if err := ec.charge(1); err != nil {
-				return nil, err
-			}
-			row := make([]Value, 0, len(cols))
-			row = append(row, lr...)
-			row = append(row, rr...)
+			copy(buf[len(left.cols):], rr)
 			if on != nil {
-				sc := &scope{cols: cols, row: row, parent: outer}
-				env := &evalEnv{ec: ec, sc: sc}
 				v, err := env.eval(on)
 				if err != nil {
 					return nil, err
@@ -658,6 +802,8 @@ func (ec *execCtx) join(left, right *rowSet, jt JoinType, on Expr, outer *scope)
 				}
 			}
 			matched = true
+			row := make([]Value, len(cols))
+			copy(row, buf)
 			out.rows = append(out.rows, row)
 		}
 		if jt == JoinLeft && !matched {
@@ -667,6 +813,7 @@ func (ec *execCtx) join(left, right *rowSet, jt JoinType, on Expr, outer *scope)
 			out.rows = append(out.rows, row)
 		}
 	}
+	out.logical = len(out.rows)
 	return out, nil
 }
 
@@ -707,11 +854,13 @@ func (ec *execCtx) execUpdate(up *UpdateStmt) (int64, error) {
 		cols[i] = scopeCol{table: lt, name: strings.ToLower(c.Name)}
 	}
 	var n int64
+	sc := &scope{cols: cols}
+	env := &evalEnv{ec: ec, sc: sc}
 	for ri, row := range t.Rows {
 		if err := ec.charge(1); err != nil {
 			return n, err
 		}
-		env := &evalEnv{ec: ec, sc: &scope{cols: cols, row: row}}
+		sc.row = row
 		if up.Where != nil {
 			v, err := env.eval(up.Where)
 			if err != nil {
@@ -737,6 +886,9 @@ func (ec *execCtx) execUpdate(up *UpdateStmt) (int64, error) {
 		t.Rows[ri] = newRow
 		n++
 	}
+	if n > 0 {
+		t.invalidateIndexes()
+	}
 	return n, nil
 }
 
@@ -752,13 +904,15 @@ func (ec *execCtx) execDelete(del *DeleteStmt) (int64, error) {
 	}
 	var kept [][]Value
 	var n int64
+	sc := &scope{cols: cols}
+	env := &evalEnv{ec: ec, sc: sc}
 	for _, row := range t.Rows {
 		if err := ec.charge(1); err != nil {
 			return n, err
 		}
 		remove := true
 		if del.Where != nil {
-			env := &evalEnv{ec: ec, sc: &scope{cols: cols, row: row}}
+			sc.row = row
 			v, err := env.eval(del.Where)
 			if err != nil {
 				return n, err
@@ -773,6 +927,7 @@ func (ec *execCtx) execDelete(del *DeleteStmt) (int64, error) {
 		}
 	}
 	t.Rows = kept
+	t.invalidateIndexes()
 	return n, nil
 }
 

@@ -1,0 +1,194 @@
+package sqlengine
+
+// Hash equi-join execution. The planner hands the executor the flattened
+// ON conjunction (joinAnalysis); this file resolves the equi conditions
+// against the actual input relations and, when at least one resolves
+// cleanly, replaces the O(|L|·|R|) nested loop with an O(|L|+|R|+matches)
+// build/probe join.
+//
+// Equivalence with the nested loop is structural:
+//
+//   - Content: buckets are keyed by coarseKey, which never separates two
+//     values the executor's `=` would match; every bucket candidate is
+//     re-verified with sqlEq (exact `=` semantics) plus the residual
+//     conjuncts, so spurious bucket collisions cost a comparison, never a
+//     wrong row.
+//   - Order: pairs are emitted in left-row-major order with right matches
+//     ascending — exactly the nested loop's emission order — regardless of
+//     which side the hash table is built on.
+//   - Cost: the caller (join) has already charged |L|·|R| logical pairs
+//     before this function runs, identical to the naive loop's total.
+
+// equiCond is one resolved hash condition: column positions in the left
+// and right input relations.
+type equiCond struct{ li, ri int }
+
+// resolveHashJoin classifies ja's conjuncts into hash conditions and
+// residual filters. ok is false when the nested loop must run instead:
+// no cross-side equi condition, or any column reference that does not
+// resolve cleanly (the nested loop then reproduces the naive executor's
+// error — or its silence, when an empty input means the ON clause is
+// never evaluated).
+func resolveHashJoin(left, right *rowSet, ja *joinAnalysis, outer *scope) (equis []equiCond, residual []Expr, ok bool) {
+	for _, c := range ja.conj {
+		for _, r := range c.refs {
+			_, nl := resolveCols(left.cols, r.Table, r.Name)
+			_, nr := resolveCols(right.cols, r.Table, r.Name)
+			if nl+nr > 1 {
+				return nil, nil, false // ambiguous in the join scope
+			}
+			if nl+nr == 0 && outerResolveClass(outer, r.Table, r.Name) != 1 {
+				return nil, nil, false // would be "no such column" (or outer ambiguity)
+			}
+		}
+		if c.eq != nil {
+			ali, anl := resolveCols(left.cols, c.eq.a.Table, c.eq.a.Name)
+			ari, anr := resolveCols(right.cols, c.eq.a.Table, c.eq.a.Name)
+			bli, bnl := resolveCols(left.cols, c.eq.b.Table, c.eq.b.Name)
+			bri, bnr := resolveCols(right.cols, c.eq.b.Table, c.eq.b.Name)
+			switch {
+			case anl == 1 && anr == 0 && bnl == 0 && bnr == 1:
+				equis = append(equis, equiCond{li: ali, ri: bri})
+				continue
+			case anl == 0 && anr == 1 && bnl == 1 && bnr == 0:
+				equis = append(equis, equiCond{li: bli, ri: ari})
+				continue
+			}
+			// Same-side or correlated equality: plain residual filter.
+		}
+		residual = append(residual, c.expr)
+	}
+	if len(equis) == 0 {
+		return nil, nil, false
+	}
+	return equis, residual, true
+}
+
+// hashJoin executes the join with the given resolved conditions. The
+// logical |L|·|R| cost has already been charged by the caller.
+func (ec *execCtx) hashJoin(left, right *rowSet, jt JoinType, equis []equiCond, residual []Expr, outer *scope) (*rowSet, error) {
+	cols := make([]scopeCol, 0, len(left.cols)+len(right.cols))
+	cols = append(cols, left.cols...)
+	cols = append(cols, right.cols...)
+	out := &rowSet{cols: cols, rows: make([][]Value, 0, len(left.rows))}
+
+	// One reusable pair buffer and environment for residual evaluation;
+	// emitted rows are fresh copies.
+	buf := make([]Value, len(cols))
+	sc := &scope{cols: cols, row: buf, parent: outer}
+	env := &evalEnv{ec: ec, sc: sc}
+	match := func(lr, rr []Value) (bool, error) {
+		for _, eq := range equis {
+			if !sqlEq(lr[eq.li], rr[eq.ri]) {
+				return false, nil
+			}
+		}
+		if len(residual) > 0 {
+			copy(buf, lr)
+			copy(buf[len(left.cols):], rr)
+			for _, e := range residual {
+				v, err := env.eval(e)
+				if err != nil {
+					return false, err
+				}
+				if t, known := v.Truth(); !t || !known {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	emit := func(lr, rr []Value) {
+		row := make([]Value, 0, len(cols))
+		row = append(row, lr...)
+		row = append(row, rr...)
+		out.rows = append(out.rows, row)
+	}
+
+	var keyBuf []byte
+	rowKey := func(row []Value, side func(equiCond) int) (string, bool) {
+		keyBuf = keyBuf[:0]
+		for _, eq := range equis {
+			v := row[side(eq)]
+			if v.IsNull() {
+				// NULL never equi-matches; the row can only surface via
+				// LEFT JOIN null-extension.
+				return "", false
+			}
+			keyBuf = coarseKey(keyBuf, v)
+			keyBuf = append(keyBuf, 0)
+		}
+		return string(keyBuf), true
+	}
+	leftSide := func(eq equiCond) int { return eq.li }
+	rightSide := func(eq equiCond) int { return eq.ri }
+
+	nullRight := make([]Value, len(right.cols))
+
+	if len(right.rows) <= len(left.rows) {
+		// Build on the right (smaller) side; probe with left rows in
+		// order. Buckets hold right positions ascending, so emission is
+		// nested-loop order for free.
+		buckets := make(map[string][]int, len(right.rows))
+		for ri, rr := range right.rows {
+			if k, ok := rowKey(rr, rightSide); ok {
+				buckets[k] = append(buckets[k], ri)
+			}
+		}
+		for _, lr := range left.rows {
+			matched := false
+			if k, ok := rowKey(lr, leftSide); ok {
+				for _, ri := range buckets[k] {
+					hit, err := match(lr, right.rows[ri])
+					if err != nil {
+						return nil, err
+					}
+					if hit {
+						matched = true
+						emit(lr, right.rows[ri])
+					}
+				}
+			}
+			if jt == JoinLeft && !matched {
+				emit(lr, nullRight)
+			}
+		}
+	} else {
+		// Build on the left (smaller) side; probe with right rows,
+		// collecting candidate right positions per left row, then emit in
+		// left-major order. Candidates arrive in right-row order, so the
+		// per-left lists are ascending.
+		buckets := make(map[string][]int, len(left.rows))
+		for li, lr := range left.rows {
+			if k, ok := rowKey(lr, leftSide); ok {
+				buckets[k] = append(buckets[k], li)
+			}
+		}
+		cand := make([][]int, len(left.rows))
+		for ri, rr := range right.rows {
+			if k, ok := rowKey(rr, rightSide); ok {
+				for _, li := range buckets[k] {
+					cand[li] = append(cand[li], ri)
+				}
+			}
+		}
+		for li, lr := range left.rows {
+			matched := false
+			for _, ri := range cand[li] {
+				hit, err := match(lr, right.rows[ri])
+				if err != nil {
+					return nil, err
+				}
+				if hit {
+					matched = true
+					emit(lr, right.rows[ri])
+				}
+			}
+			if jt == JoinLeft && !matched {
+				emit(lr, nullRight)
+			}
+		}
+	}
+	out.logical = len(out.rows)
+	return out, nil
+}

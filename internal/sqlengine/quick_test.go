@@ -194,6 +194,63 @@ func TestGroupBySumPartitionProperty(t *testing.T) {
 	}
 }
 
+// Property: every generated query produces identical rows (order included)
+// and an identical Cost under the planner and under the naive executor.
+// This is the planner's core invariant — Cost is logical, so VES and every
+// experiment table stay byte-stable however the physical plan changes.
+func TestPlannerEquivalenceProperty(t *testing.T) {
+	templates := []func(p1, p2 int) string{
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT t.id, g.label FROM t JOIN g ON t.grp = g.grp WHERE t.num > %d", p1)
+		},
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT t.id, g.label FROM t LEFT JOIN g ON t.grp = g.grp WHERE t.num <= %d LIMIT %d", p1, p2)
+		},
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT COUNT(*) FROM t JOIN g ON t.grp = g.grp JOIN acc ON acc.t_id = t.id WHERE t.num BETWEEN %d AND %d", p1, p1+p2)
+		},
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT t.id FROM t JOIN g ON t.num > g.weight WHERE t.id < %d", p2)
+		},
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT g.label, SUM(t.num) FROM t JOIN g ON t.grp = g.grp GROUP BY g.label HAVING COUNT(*) > %d ORDER BY g.label", p2%4)
+		},
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT id FROM t WHERE id = %d", p1)
+		},
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT id FROM t WHERE grp IN (SELECT grp FROM g WHERE weight > %d)", p2)
+		},
+		func(p1, p2 int) string {
+			return fmt.Sprintf("SELECT t.id FROM t JOIN acc ON t.id = acc.num_text WHERE acc.kind != 'q%d'", p1)
+		},
+	}
+	f := func(seed int64, a, b uint8) bool {
+		planned, naive := plannerPair(seed, 30)
+		p1, p2 := int(a)%100, int(b)%20+1
+		for _, tmpl := range templates {
+			q := tmpl(p1, p2)
+			pr, perr := planned.Exec(q)
+			nr, nerr := naive.Exec(q)
+			if (perr == nil) != (nerr == nil) {
+				t.Logf("error mismatch for %q: %v vs %v", q, perr, nerr)
+				return false
+			}
+			if perr != nil {
+				continue
+			}
+			if pr.Cost != nr.Cost || !rowsIdentical(pr.Rows, nr.Rows) {
+				t.Logf("divergence for %q: cost %d vs %d", q, pr.Cost, nr.Cost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: INNER JOIN row count equals the number of matching pairs, and
 // LEFT JOIN never returns fewer rows than the left table has.
 func TestJoinCardinalityProperty(t *testing.T) {

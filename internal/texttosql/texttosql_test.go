@@ -257,3 +257,55 @@ func TestCodeSSizes(t *testing.T) {
 	}()
 	NewCodeS(client, 42)
 }
+
+// TestValueIndexBuiltOncePerDB pins the retriever's caching contract: the
+// BM25 value index and the distinct-value inventories are constructed on
+// first use and then shared — repeat lookups (and concurrent ones) must
+// return the very same index object, not rebuild it.
+func TestValueIndexBuiltOncePerDB(t *testing.T) {
+	c := testCorpus(t)
+	db, ok := c.DB("financial")
+	if !ok {
+		t.Fatal("no financial DB")
+	}
+	r := NewRetriever(StrategyBM25)
+
+	first := r.valueIndex(db)
+	if first == nil || first.index == nil {
+		t.Fatal("valueIndex returned nil index")
+	}
+	for i := 0; i < 5; i++ {
+		if got := r.valueIndex(db); got != first {
+			t.Fatalf("valueIndex rebuilt on call %d", i+2)
+		}
+	}
+
+	// Concurrent searches through the public path must all land on the
+	// same cached index (and not race; run with -race).
+	var wg sync.WaitGroup
+	results := make([]*valueIndex, 8)
+	for w := range results {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r.searchBM25(db, "weekly issuance")
+			results[w] = r.valueIndex(db)
+		}(w)
+	}
+	wg.Wait()
+	for w, got := range results {
+		if got != first {
+			t.Fatalf("worker %d saw a different valueIndex", w)
+		}
+	}
+
+	// distinctValues shares the same build-once contract.
+	v1 := r.distinctValues(db, "account", "frequency")
+	v2 := r.distinctValues(db, "account", "frequency")
+	if len(v1) == 0 {
+		t.Fatal("no distinct values for account.frequency")
+	}
+	if &v1[0] != &v2[0] {
+		t.Fatal("distinctValues rebuilt its slice on a repeat lookup")
+	}
+}
