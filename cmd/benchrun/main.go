@@ -7,6 +7,7 @@
 //	benchrun -exp all -sample 4     # everything, sampled dev for speed
 //	benchrun -exp all -stats        # plus service throughput + plan cache reports
 //	benchrun -benchjson BENCH_sqlengine.json   # emit the engine perf snapshot and exit
+//	benchrun -servebench BENCH_server.json     # emit the serving perf snapshot and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -27,11 +28,19 @@ func main() {
 	sample := flag.Int("sample", 1, "evaluate every n-th dev example (1 = full split)")
 	stats := flag.Bool("stats", false, "print the evidence-service throughput and plan-cache reports at the end")
 	benchJSON := flag.String("benchjson", "", "write the sqlengine perf snapshot (cold parse, cached plan, nested vs hash join, Evaluate pass) to this JSON file and exit")
+	serveBench := flag.String("servebench", "", "write the serving perf snapshot (serial vs concurrent vs micro-batched /v1/query load) to this JSON file and exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := writeEngineBench(*benchJSON, *seedFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveBench != "" {
+		if err := writeServerBench(*serveBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/seed"
+	"repro/internal/server"
+)
+
+// The -servebench mode: the serving-path perf snapshot. It stands a real
+// HTTP server up on a loopback ephemeral port, replays the BIRD dev
+// questions through POST /v1/query, and measures four regimes:
+//
+//	pipeline_serial — per-request serial pipeline calls, the pre-serving
+//	                  status quo: every request regenerates evidence from
+//	                  scratch (no cache, no batching, no concurrency, not
+//	                  even HTTP overhead).
+//	served serial   — the server, warm evidence cache, batching off, one
+//	                  request at a time.
+//	served concurrent — warm cache, batching off, 16 client workers.
+//	served batched  — warm cache, micro-batching on, 16 client workers:
+//	                  the deployed configuration, where concurrent
+//	                  evidence requests coalesce into pooled GenerateAll
+//	                  batches.
+//
+// The headline ratio batched/pipeline_serial is the acceptance criterion
+// for the serving subsystem: batched warm serving must sustain higher QPS
+// than per-request serial pipeline calls — the paper's practical-usability
+// claim (generate evidence once, serve many requests cheaply) measured
+// end to end.
+
+// serverBenchReport is the BENCH_server.json schema.
+type serverBenchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Seed        uint64 `json:"seed"`
+	// Endpoint is the measured route.
+	Endpoint string `json:"endpoint"`
+	// Questions is the distinct question count replayed.
+	Questions int `json:"questions"`
+	// Requests is the request count per served regime.
+	Requests int `json:"requests"`
+	// PipelineSerial is the pre-serving baseline; the served regimes are
+	// the subsystem under measurement.
+	PipelineSerial *server.LoadReport `json:"pipeline_serial"`
+	ServedSerial   *server.LoadReport `json:"served_serial"`
+	Concurrent     *server.LoadReport `json:"served_concurrent_unbatched"`
+	Batched        *server.LoadReport `json:"served_concurrent_batched"`
+	// SpeedupBatchedVsPipeline is Batched.QPS / PipelineSerial.QPS — the
+	// headline serving win.
+	SpeedupBatchedVsPipeline float64 `json:"speedup_batched_vs_pipeline_serial"`
+	// SpeedupBatchedVsServedSerial is Batched.QPS / ServedSerial.QPS:
+	// what concurrency + coalescing add over one-at-a-time serving on the
+	// same warm server (bounded by the CPU count of the measurement box).
+	SpeedupBatchedVsServedSerial float64 `json:"speedup_batched_vs_served_serial"`
+	// BatchAvgFill is the mean requests per dispatched batch in the
+	// batched regime.
+	BatchAvgFill float64 `json:"batch_avg_fill"`
+	// EvidenceCacheHitRate is the warm-cache hit rate observed by the
+	// batched server during measurement.
+	EvidenceCacheHitRate float64 `json:"evidence_cache_hit_rate"`
+}
+
+// startServer builds a serving stack over a fresh BIRD corpus and exposes
+// it on a loopback ephemeral port. The returned stop function shuts the
+// HTTP server and the serving subsystem down.
+func startServer(corpusSeed uint64, batchWindow time.Duration, batchMax int) (srv *server.Server, base string, stop func(), err error) {
+	srv, err = server.New(server.Config{
+		Corpora:        []*dataset.Corpus{dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})},
+		Client:         llm.NewSimulator(),
+		Variant:        seed.VariantGPT,
+		BatchWindow:    batchWindow,
+		BatchMax:       batchMax,
+		MaxInFlight:    1024,
+		RequestTimeout: time.Minute,
+		Logger:         slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop = func() {
+		hs.Close()
+		srv.Close()
+	}
+	return srv, "http://" + ln.Addr().String(), stop, nil
+}
+
+func writeServerBench(path string, corpusSeed uint64) error {
+	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})
+	payloads := make([][]byte, 0, len(corpus.Dev))
+	for _, e := range corpus.Dev {
+		body, err := json.Marshal(server.QueryRequest{DB: e.DB, Question: e.Question})
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, body)
+	}
+	const concurrency = 16
+	total := 4 * len(payloads)
+	ctx := context.Background()
+
+	// Baseline: per-request serial pipeline calls, no serving machinery.
+	// Capped well below the served totals — at a full generation per
+	// request it is orders of magnitude slower per call.
+	baselineTotal := len(payloads) / 2
+	pipeline, err := server.RunSerialBaseline(corpus, llm.NewSimulator(), seed.VariantGPT, "codes-15b", baselineTotal)
+	if err != nil {
+		return err
+	}
+
+	// Served regimes 1+2: batching disabled.
+	_, base, stop, err := startServer(corpusSeed, 0, 0)
+	if err != nil {
+		return err
+	}
+	// Warm pass: fills the evidence cache, builds every session and the
+	// gold-plan side of the plan cache, so the measured regimes compare
+	// steady-state serving rather than first-touch construction.
+	if _, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: base, Payloads: payloads, Concurrency: 8,
+	}); err != nil {
+		stop()
+		return err
+	}
+	serial, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: base, Payloads: payloads, Concurrency: 1, Total: total,
+	})
+	if err != nil {
+		stop()
+		return err
+	}
+	concurrent, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: base, Payloads: payloads, Concurrency: concurrency, Total: total,
+	})
+	stop()
+	if err != nil {
+		return err
+	}
+
+	// Served regime 3: micro-batching on, fresh server. BatchMax matches
+	// client concurrency so saturated batches flush on size immediately;
+	// the window only sweeps up stragglers.
+	batchedSrv, base, stop, err := startServer(corpusSeed, 2*time.Millisecond, concurrency)
+	if err != nil {
+		return err
+	}
+	defer stop()
+	if _, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: base, Payloads: payloads, Concurrency: 8,
+	}); err != nil {
+		return err
+	}
+	batched, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: base, Payloads: payloads, Concurrency: concurrency, Total: total,
+	})
+	if err != nil {
+		return err
+	}
+	snap := batchedSrv.Metrics()
+
+	report := serverBenchReport{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		Seed:           corpusSeed,
+		Endpoint:       "/v1/query",
+		Questions:      len(payloads),
+		Requests:       total,
+		PipelineSerial: pipeline,
+		ServedSerial:   serial,
+		Concurrent:     concurrent,
+		Batched:        batched,
+	}
+	if pipeline.QPS > 0 {
+		report.SpeedupBatchedVsPipeline = batched.QPS / pipeline.QPS
+	}
+	if serial.QPS > 0 {
+		report.SpeedupBatchedVsServedSerial = batched.QPS / serial.QPS
+	}
+	report.BatchAvgFill = snap.Batcher["bird"].AvgFill
+	report.EvidenceCacheHitRate = snap.Evidence["bird"].CacheHitRate
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  pipeline serial          %8.0f req/s (p50 %.0fus, p99 %.0fus)\n", pipeline.QPS, pipeline.P50Micros, pipeline.P99Micros)
+	fmt.Printf("  served serial            %8.0f req/s (p50 %.0fus, p99 %.0fus)\n", serial.QPS, serial.P50Micros, serial.P99Micros)
+	fmt.Printf("  served concurrent (c=%d) %8.0f req/s (p50 %.0fus, p99 %.0fus)\n", concurrency, concurrent.QPS, concurrent.P50Micros, concurrent.P99Micros)
+	fmt.Printf("  served batched    (c=%d) %8.0f req/s (p50 %.0fus, p99 %.0fus)\n", concurrency, batched.QPS, batched.P50Micros, batched.P99Micros)
+	fmt.Printf("  batched vs pipeline serial %.1fx  (avg batch fill %.1f, evidence hit rate %.2f)\n",
+		report.SpeedupBatchedVsPipeline, report.BatchAvgFill, report.EvidenceCacheHitRate)
+	return nil
+}

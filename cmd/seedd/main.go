@@ -1,0 +1,134 @@
+// Command seedd is the SEED serving daemon: it loads one or both synthetic
+// corpora and serves the online text-to-SQL API (POST /v1/query,
+// POST /v1/evidence, GET /v1/dbs, /v1/examples, /healthz, /metrics) with
+// micro-batched evidence generation and admission control.
+//
+// Usage:
+//
+//	seedd                                  # BIRD on 127.0.0.1:8080
+//	seedd -addr 127.0.0.1:0 -addrfile /tmp/seedd.addr   # ephemeral port, address written to file
+//	seedd -corpus both -variant seed_deepseek -rate 500 -inflight 128
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain (up to 5s), pending micro-batches flush, worker pools stop.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/seed"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening (for scripts wrapping an ephemeral port)")
+	corpusName := flag.String("corpus", "bird", "corpus to serve: bird, spider or both")
+	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
+	variant := flag.String("variant", string(seed.VariantGPT), "SEED evidence variant: seed_gpt or seed_deepseek")
+	generator := flag.String("generator", "codes-15b", "text-to-SQL generator: codes-{1,3,7,15}b, chess, chess-sscg, rsl-sql, dail-sql, c3")
+	workers := flag.Int("workers", 0, "evidence worker pool size per corpus (0 = GOMAXPROCS)")
+	cache := flag.Int("cache", 0, "evidence cache capacity in entries (0 = 4096)")
+	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batch window; 0 disables batching")
+	batchMax := flag.Int("batch-max", 32, "micro-batch size that forces an early flush")
+	rate := flag.Float64("rate", 0, "admission rate limit in requests/second (0 = unlimited)")
+	burst := flag.Int("burst", 64, "admission token-bucket burst")
+	inflight := flag.Int("inflight", 256, "max in-flight requests (0 = unlimited)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+	quiet := flag.Bool("quiet", false, "suppress per-request logs")
+	flag.Parse()
+
+	logLevel := slog.LevelInfo
+	if *quiet {
+		logLevel = slog.LevelWarn
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+
+	var corpora []*dataset.Corpus
+	switch *corpusName {
+	case "bird":
+		corpora = []*dataset.Corpus{dataset.BuildBIRD(dataset.BIRDOptions{Seed: *seedFlag})}
+	case "spider":
+		corpora = []*dataset.Corpus{dataset.BuildSpider(*seedFlag)}
+	case "both":
+		corpora = []*dataset.Corpus{
+			dataset.BuildBIRD(dataset.BIRDOptions{Seed: *seedFlag}),
+			dataset.BuildSpider(*seedFlag),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown corpus %q (want bird, spider or both)\n", *corpusName)
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
+		Corpora:         corpora,
+		Client:          llm.NewSimulator(),
+		Variant:         seed.Variant(*variant),
+		Generator:       *generator,
+		EvidenceWorkers: *workers,
+		EvidenceCache:   *cache,
+		BatchWindow:     *batchWindow,
+		BatchMax:        *batchMax,
+		Rate:            *rate,
+		Burst:           *burst,
+		MaxInFlight:     *inflight,
+		RequestTimeout:  *timeout,
+		Logger:          log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	totalDBs := 0
+	for _, c := range corpora {
+		totalDBs += len(c.DBs)
+	}
+	fmt.Printf("seedd listening on http://%s (%s, %d databases)\n", bound, *corpusName, totalDBs)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Warn("forced shutdown", "err", err)
+		}
+	}
+}

@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/schema"
+	"repro/internal/sqlengine"
 )
 
 func main() {
@@ -39,11 +41,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no database %q; available: %v\n", *dbName, names)
 		os.Exit(2)
 	}
-	fmt.Printf("connected to %s (%d tables); end statements with ';', .schema prints DDL, .quit exits\n",
+	fmt.Printf("connected to %s (%d tables); end statements with ';', .schema prints DDL, .timing toggles timing, .quit exits\n",
 		db.Name, len(db.Engine.Tables()))
 
 	scanner := bufio.NewScanner(os.Stdin)
 	var buf strings.Builder
+	timing := false
 	fmt.Print("> ")
 	for scanner.Scan() {
 		line := scanner.Text()
@@ -58,6 +61,15 @@ func main() {
 			fmt.Println(strings.Join(db.Engine.TableNames(), " "))
 			fmt.Print("> ")
 			continue
+		case ".timing":
+			timing = !timing
+			state := "off"
+			if timing {
+				state = "on"
+			}
+			fmt.Printf("timing %s (prepare vs execute, via the prepared-plan cache)\n", state)
+			fmt.Print("> ")
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteString("\n")
@@ -68,14 +80,47 @@ func main() {
 		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
 		buf.Reset()
 		if sql != "" {
-			run(db, sql)
+			run(db, sql, timing)
 		}
 		fmt.Print("> ")
 	}
 }
 
-func run(db *schema.DB, sql string) {
-	res, err := db.Engine.Exec(sql)
+func run(db *schema.DB, sql string, timing bool) {
+	var res *sqlengine.Result
+	var err error
+	var prepTime, execTime time.Duration
+	var cacheHit bool
+	if timing {
+		// Go through Prepare explicitly so the two phases — parse/plan
+		// (amortised by the plan cache) and execution — are separable.
+		hitsBefore := db.Engine.PlanCacheStats().Hits
+		start := time.Now()
+		var stmt *sqlengine.Stmt
+		stmt, err = db.Engine.Prepare(sql)
+		prepTime = time.Since(start)
+		if err == nil {
+			cacheHit = db.Engine.PlanCacheStats().Hits > hitsBefore
+			start = time.Now()
+			res, err = stmt.Exec()
+			execTime = time.Since(start)
+		}
+	} else {
+		res, err = db.Engine.Exec(sql)
+	}
+	if timing {
+		defer func() {
+			if err != nil {
+				return
+			}
+			source := "planned"
+			if cacheHit {
+				source = "plan cache hit"
+			}
+			fmt.Printf("timing: prepare %v (%s), execute %v\n",
+				prepTime.Round(time.Microsecond), source, execTime.Round(time.Microsecond))
+		}()
+	}
 	if err != nil {
 		fmt.Println("error:", err)
 		return

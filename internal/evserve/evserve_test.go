@@ -261,6 +261,51 @@ func TestGenerateAfterCloseFails(t *testing.T) {
 	}
 }
 
+// TestCloseIdempotentUnderConcurrency pins the shutdown contract the
+// serving subsystem relies on: Close must be safe to call any number of
+// times from any number of goroutines — a server's shutdown path racing
+// experiments.Env.Close over the same service must not panic or deadlock,
+// and every Close call must return only after the pool has drained.
+func TestCloseIdempotentUnderConcurrency(t *testing.T) {
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(1)
+	s := New(Options{Variant: "v", Workers: 2, Generate: func(db, q string) (string, error) {
+		started.Done()
+		<-release
+		return "ev", nil
+	}})
+
+	// One generation is mid-flight while the closes race.
+	genDone := make(chan error, 1)
+	go func() {
+		_, err := s.Generate(context.Background(), "db", "q")
+		genDone <- err
+	}()
+	started.Wait()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	s.Close() // and once more, sequentially
+	if err := <-genDone; err != nil {
+		t.Errorf("in-flight Generate failed across racing closes: %v", err)
+	}
+	if _, err := s.Generate(context.Background(), "db", "q2"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Generate after concurrent closes = %v, want ErrClosed", err)
+	}
+}
+
 // TestConcurrentMixedLoad hammers the service from many goroutines with
 // overlapping keys; run under -race this is the service's race test.
 func TestConcurrentMixedLoad(t *testing.T) {

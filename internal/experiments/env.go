@@ -88,6 +88,16 @@ func (e *Env) BIRDSeedEvidence(v seed.Variant) map[string]string {
 	return evidenceMap(e.birdService(v), e.BIRD.Dev)
 }
 
+// BIRDSeedEvidenceFor generates (or serves from cache) evidence for one
+// BIRD question under the given variant. It is the per-request view of the
+// same pipeline BIRDSeedEvidence batches over a whole split — the serving
+// subsystem's golden-equivalence tests compare its online responses
+// against this entry point, and diagnostics can probe single questions
+// without paying for a full split.
+func (e *Env) BIRDSeedEvidenceFor(ctx context.Context, v seed.Variant, db, question string) (string, error) {
+	return e.birdService(v).Generate(ctx, db, question)
+}
+
 // BIRDRevisedEvidence generates the SEED_revised condition: deepseek
 // evidence with join clauses stripped by the revision model. The revised
 // service's generation function pulls the base evidence through the
@@ -188,11 +198,7 @@ func PlanCacheReport(env *Env) *Table {
 		}
 		var agg sqlengine.PlanCacheStats
 		for _, db := range c.DBs {
-			st := db.Engine.PlanCacheStats()
-			agg.Hits += st.Hits
-			agg.Misses += st.Misses
-			agg.Evictions += st.Evictions
-			agg.Entries += st.Entries
+			agg.Add(db.Engine.PlanCacheStats())
 		}
 		t.Rows = append(t.Rows, []string{
 			c.Name,

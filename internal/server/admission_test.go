@@ -1,0 +1,104 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	tb := newTokenBucket(10, 2) // 10 tokens/s, burst 2
+	now := time.Now()
+	if ok, _ := tb.take(now); !ok {
+		t.Fatal("first take from a full bucket denied")
+	}
+	if ok, _ := tb.take(now); !ok {
+		t.Fatal("second take within burst denied")
+	}
+	ok, wait := tb.take(now)
+	if ok {
+		t.Fatal("take from an empty bucket allowed")
+	}
+	if wait <= 0 || wait > 100*time.Millisecond {
+		t.Fatalf("retry-after = %v, want (0, 100ms] at 10 tokens/s", wait)
+	}
+	// After the advertised wait a token must exist.
+	if ok, _ := tb.take(now.Add(wait)); !ok {
+		t.Fatal("take after the advertised retry-after still denied")
+	}
+	// Refill never exceeds burst.
+	if ok, _ := tb.take(now.Add(time.Hour)); !ok {
+		t.Fatal("take after long idle denied")
+	}
+	if ok, _ := tb.take(now.Add(time.Hour)); !ok {
+		t.Fatal("second take after long idle denied (burst 2)")
+	}
+	if ok, _ := tb.take(now.Add(time.Hour)); ok {
+		t.Fatal("third take after long idle allowed — bucket exceeded burst")
+	}
+}
+
+func TestAdmissionRateLimit(t *testing.T) {
+	a := newAdmission(1, 1, 0) // 1 req/s, burst 1, no in-flight cap
+	release, status, _ := a.admit()
+	if release == nil {
+		t.Fatalf("first request rejected with %d", status)
+	}
+	release()
+	_, status, retry := a.admit()
+	if status != 429 {
+		t.Fatalf("second immediate request status = %d, want 429", status)
+	}
+	if retry <= 0 {
+		t.Fatal("429 carries no Retry-After hint")
+	}
+	st := a.stats()
+	if st.Admitted != 1 || st.RateLimited != 1 {
+		t.Errorf("stats = %+v, want 1 admitted / 1 rate-limited", st)
+	}
+}
+
+func TestAdmissionInFlightBound(t *testing.T) {
+	a := newAdmission(0, 0, 2) // no rate limit, 2 slots
+	r1, status, _ := a.admit()
+	if r1 == nil {
+		t.Fatalf("first admit rejected: %d", status)
+	}
+	r2, _, _ := a.admit()
+	if r2 == nil {
+		t.Fatal("second admit rejected with a free slot")
+	}
+	_, status, retry := a.admit()
+	if status != 503 {
+		t.Fatalf("over-capacity status = %d, want 503", status)
+	}
+	if retry <= 0 {
+		t.Fatal("503 carries no Retry-After hint")
+	}
+	if got := a.stats().Inflight; got != 2 {
+		t.Fatalf("Inflight = %d, want 2", got)
+	}
+	r1()
+	r1() // double release must not free a second slot
+	if r3, _, _ := a.admit(); r3 == nil {
+		t.Fatal("admit after release rejected")
+	}
+	if _, status, _ := a.admit(); status != 503 {
+		t.Fatalf("double release freed an extra slot (status %d, want 503)", status)
+	}
+	r2()
+	st := a.stats()
+	if st.Overloaded != 2 {
+		t.Errorf("Overloaded = %d, want 2", st.Overloaded)
+	}
+}
+
+func TestAdmissionDisabled(t *testing.T) {
+	a := newAdmission(0, 0, 0)
+	for i := 0; i < 100; i++ {
+		release, status, _ := a.admit()
+		if release == nil {
+			t.Fatalf("unlimited admission rejected request %d with %d", i, status)
+		}
+		defer release()
+	}
+}

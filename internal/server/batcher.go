@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/evserve"
+)
+
+// batcher coalesces concurrent evidence requests into evserve.GenerateAll
+// calls. Arrivals accumulate until either the batch window elapses or the
+// batch reaches maxSize, then the whole batch is handed to the service's
+// worker pool in one call. Under concurrent load this converts N cache
+// probes / pipeline runs dispatched one goroutine at a time into pooled
+// batches with backpressure — the serving-path analogue of what
+// experiments.evidenceMap does for offline splits.
+//
+// With batching disabled (window <= 0 or maxSize <= 1) Generate degrades
+// to a direct single-flight service call: the fast path for lightly
+// loaded servers, where waiting out a window would only add latency.
+type batcher struct {
+	svc     *evserve.Service
+	window  time.Duration
+	maxSize int
+
+	mu      sync.Mutex
+	pending []batchItem
+	timer   *time.Timer
+
+	singles       atomic.Int64
+	batches       atomic.Int64
+	batched       atomic.Int64
+	sizeFlushes   atomic.Int64
+	windowFlushes atomic.Int64
+}
+
+type batchItem struct {
+	req evserve.Request
+	out chan batchResult
+}
+
+type batchResult struct {
+	evidence string
+	err      error
+}
+
+func newBatcher(svc *evserve.Service, window time.Duration, maxSize int) *batcher {
+	return &batcher{svc: svc, window: window, maxSize: maxSize}
+}
+
+// Generate produces evidence for one request, possibly sharing a batch
+// with concurrent callers. Cancelling ctx abandons the wait immediately;
+// the batch itself keeps running for the other participants, and the
+// abandoned result is delivered into a buffered channel and dropped.
+func (b *batcher) Generate(ctx context.Context, db, question string) (string, error) {
+	if b.window <= 0 || b.maxSize <= 1 {
+		b.singles.Add(1)
+		return b.svc.Generate(ctx, db, question)
+	}
+	item := batchItem{
+		req: evserve.Request{DB: db, Question: question},
+		out: make(chan batchResult, 1),
+	}
+	b.mu.Lock()
+	b.pending = append(b.pending, item)
+	if len(b.pending) == 1 {
+		b.timer = time.AfterFunc(b.window, b.flushWindow)
+	}
+	if len(b.pending) >= b.maxSize {
+		items := b.takeLocked()
+		b.mu.Unlock()
+		b.sizeFlushes.Add(1)
+		go b.run(items)
+	} else {
+		b.mu.Unlock()
+	}
+	select {
+	case r := <-item.out:
+		return r.evidence, r.err
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+// takeLocked detaches the pending batch and disarms the window timer.
+// Callers must hold b.mu.
+func (b *batcher) takeLocked() []batchItem {
+	items := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return items
+}
+
+func (b *batcher) flushWindow() {
+	b.mu.Lock()
+	items := b.takeLocked()
+	b.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	b.windowFlushes.Add(1)
+	b.run(items)
+}
+
+// Flush synchronously dispatches whatever is pending; the server's
+// shutdown path calls it so no waiter is left parked behind a timer that
+// would fire after the evidence service closes.
+func (b *batcher) Flush() {
+	b.mu.Lock()
+	items := b.takeLocked()
+	b.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	b.run(items)
+}
+
+// run executes one batch. The batch context is Background on purpose: a
+// batch is shared by unrelated requests, so one caller's cancellation must
+// not fail the others; individual callers stop waiting via their own ctx
+// in Generate.
+func (b *batcher) run(items []batchItem) {
+	reqs := make([]evserve.Request, len(items))
+	for i := range items {
+		reqs[i] = items[i].req
+	}
+	results, _ := b.svc.GenerateAll(context.Background(), reqs)
+	// Count the batch before releasing its waiters, so a caller that
+	// reads stats right after its Generate returns sees this batch.
+	b.batches.Add(1)
+	b.batched.Add(int64(len(items)))
+	for i := range items {
+		items[i].out <- batchResult{evidence: results[i].Evidence, err: results[i].Err}
+	}
+}
+
+// BatcherStats is the /metrics view of one corpus batcher.
+type BatcherStats struct {
+	// Singles counts requests served on the unbatched fast path.
+	Singles int64 `json:"singles"`
+	// Batches counts dispatched GenerateAll batches.
+	Batches int64 `json:"batches"`
+	// BatchedRequests counts requests served through batches.
+	BatchedRequests int64 `json:"batched_requests"`
+	// AvgFill is BatchedRequests / Batches — the batching win: how many
+	// requests each pool dispatch amortised over.
+	AvgFill float64 `json:"avg_fill"`
+	// SizeFlushes counts batches dispatched because they reached maxSize.
+	SizeFlushes int64 `json:"size_flushes"`
+	// WindowFlushes counts batches dispatched by the window timer.
+	WindowFlushes int64 `json:"window_flushes"`
+}
+
+func (b *batcher) stats() BatcherStats {
+	st := BatcherStats{
+		Singles:         b.singles.Load(),
+		Batches:         b.batches.Load(),
+		BatchedRequests: b.batched.Load(),
+		SizeFlushes:     b.sizeFlushes.Load(),
+		WindowFlushes:   b.windowFlushes.Load(),
+	}
+	if st.Batches > 0 {
+		st.AvgFill = float64(st.BatchedRequests) / float64(st.Batches)
+	}
+	return st
+}

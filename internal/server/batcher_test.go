@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/evserve"
+)
+
+// newEchoBatcher builds a batcher over an evserve service whose generator
+// echoes "db/question" and counts invocations. Caching is disabled so
+// every generation reaches the counter.
+func newEchoBatcher(t *testing.T, window time.Duration, maxSize int, calls *atomic.Int64) *batcher {
+	t.Helper()
+	svc := evserve.New(evserve.Options{
+		Variant:       "test",
+		CacheCapacity: -1,
+		Workers:       4,
+		Generate: func(db, question string) (string, error) {
+			calls.Add(1)
+			return db + "/" + question, nil
+		},
+	})
+	t.Cleanup(svc.Close)
+	return newBatcher(svc, window, maxSize)
+}
+
+// TestBatcherSingleRequestFastPath: with batching disabled the batcher
+// must call straight through — no timer, no batch accounting.
+func TestBatcherSingleRequestFastPath(t *testing.T) {
+	var calls atomic.Int64
+	for _, b := range []*batcher{
+		newEchoBatcher(t, 0, 32, &calls),               // window disables
+		newEchoBatcher(t, time.Millisecond, 1, &calls), // maxSize disables
+	} {
+		ev, err := b.Generate(context.Background(), "db", "q")
+		if err != nil || ev != "db/q" {
+			t.Fatalf("Generate = %q, %v", ev, err)
+		}
+		st := b.stats()
+		if st.Singles != 1 || st.Batches != 0 || st.BatchedRequests != 0 {
+			t.Errorf("fast path stats = %+v, want 1 single and no batches", st)
+		}
+	}
+}
+
+// TestBatcherWindowFlush: requests arriving within one window must be
+// served by a single window-triggered batch.
+func TestBatcherWindowFlush(t *testing.T) {
+	var calls atomic.Int64
+	b := newEchoBatcher(t, 150*time.Millisecond, 64, &calls)
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	evs := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			evs[i], errs[i] = b.Generate(context.Background(), "db", fmt.Sprintf("q%d", i))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || evs[i] != fmt.Sprintf("db/q%d", i) {
+			t.Fatalf("request %d: %q, %v", i, evs[i], errs[i])
+		}
+	}
+	st := b.stats()
+	if st.WindowFlushes != 1 || st.SizeFlushes != 0 {
+		t.Errorf("flushes = %d window / %d size, want 1 / 0 (stats %+v)", st.WindowFlushes, st.SizeFlushes, st)
+	}
+	if st.Batches != 1 || st.BatchedRequests != n {
+		t.Errorf("batches = %d with %d requests, want 1 with %d", st.Batches, st.BatchedRequests, n)
+	}
+	if st.AvgFill != n {
+		t.Errorf("AvgFill = %.1f, want %d", st.AvgFill, n)
+	}
+}
+
+// TestBatcherSizeFlush: hitting maxSize must dispatch immediately, well
+// before the (deliberately enormous) window elapses.
+func TestBatcherSizeFlush(t *testing.T) {
+	var calls atomic.Int64
+	const n = 4
+	b := newEchoBatcher(t, time.Hour, n, &calls)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Generate(context.Background(), "db", fmt.Sprintf("q%d", i)); err != nil {
+				t.Errorf("request %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("size flush waited %v — the window timer fired instead", elapsed)
+	}
+	st := b.stats()
+	if st.SizeFlushes != 1 || st.WindowFlushes != 0 {
+		t.Errorf("flushes = %d size / %d window, want 1 / 0", st.SizeFlushes, st.WindowFlushes)
+	}
+	if st.BatchedRequests != n {
+		t.Errorf("BatchedRequests = %d, want %d", st.BatchedRequests, n)
+	}
+}
+
+// TestBatcherContextCancellationMidBatch: a caller whose context dies
+// while its request is parked in a pending batch must return promptly with
+// ctx.Err(); the batch itself must still serve the other participants.
+func TestBatcherContextCancellationMidBatch(t *testing.T) {
+	var calls atomic.Int64
+	b := newEchoBatcher(t, 250*time.Millisecond, 64, &calls)
+
+	survivor := make(chan error, 1)
+	go func() {
+		_, err := b.Generate(context.Background(), "db", "keeper")
+		survivor <- err
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	abandoned := make(chan error, 1)
+	go func() {
+		_, err := b.Generate(ctx, "db", "quitter")
+		abandoned <- err
+	}()
+	// Let both requests join the pending batch, then cancel one.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+
+	select {
+	case err := <-abandoned:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled caller returned %v, want context.Canceled", err)
+		}
+	case <-time.After(100 * time.Millisecond):
+		t.Fatal("cancelled caller still parked after cancellation — it must not wait for the window")
+	}
+	if err := <-survivor; err != nil {
+		t.Fatalf("surviving batch participant failed: %v", err)
+	}
+	// Both requests were in the dispatched batch: the abandoned one still
+	// ran (its result goes to a buffered channel nobody reads).
+	if got := calls.Load(); got != 2 {
+		t.Errorf("generator ran %d times, want 2 (batch keeps running for survivors)", got)
+	}
+	if st := b.stats(); st.BatchedRequests != 2 {
+		t.Errorf("BatchedRequests = %d, want 2", st.BatchedRequests)
+	}
+}
+
+// TestBatcherFlushDrainsPending: Flush must dispatch a parked batch
+// synchronously so shutdown never strands waiters behind a long window.
+func TestBatcherFlushDrainsPending(t *testing.T) {
+	var calls atomic.Int64
+	b := newEchoBatcher(t, time.Hour, 64, &calls)
+	got := make(chan string, 1)
+	go func() {
+		ev, _ := b.Generate(context.Background(), "db", "q")
+		got <- ev
+	}()
+	for i := 0; i < 100 && func() bool { b.mu.Lock(); defer b.mu.Unlock(); return len(b.pending) == 0 }(); i++ {
+		time.Sleep(time.Millisecond)
+	}
+	b.Flush()
+	select {
+	case ev := <-got:
+		if ev != "db/q" {
+			t.Fatalf("flushed request got %q", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush did not release the parked request")
+	}
+	b.Flush() // idempotent on an empty queue
+}

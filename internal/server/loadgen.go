@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/seed"
+	"repro/internal/texttosql"
+)
+
+// LoadOptions configures one load-generation run against a serving
+// endpoint: Total requests drawn round-robin from Payloads, issued by
+// Concurrency workers.
+type LoadOptions struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Endpoint is the POST path; default "/v1/query".
+	Endpoint string
+	// Payloads are pre-marshalled JSON request bodies, replayed
+	// round-robin.
+	Payloads [][]byte
+	// Concurrency is the worker count; 0 defaults to 1 (serial replay).
+	Concurrency int
+	// Total is the number of requests to issue; 0 defaults to
+	// len(Payloads) (one full replay of the question set).
+	Total int
+	// Client is the HTTP client; nil uses a pooled default.
+	Client *http.Client
+}
+
+// LoadReport summarises one load run. Latencies are end-to-end from the
+// client's side, in microseconds.
+type LoadReport struct {
+	Concurrency     int     `json:"concurrency"`
+	Requests        int     `json:"requests"`
+	Errors          int     `json:"errors"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// QPS is Requests (including failed ones) per second of wall time.
+	QPS       float64 `json:"qps"`
+	P50Micros float64 `json:"p50_us"`
+	P90Micros float64 `json:"p90_us"`
+	P99Micros float64 `json:"p99_us"`
+	MaxMicros float64 `json:"max_us"`
+}
+
+// RunLoad replays the payloads against the endpoint and aggregates a
+// report. A non-2xx response counts as an error but still contributes its
+// latency; transport failures abort the run.
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	if opts.BaseURL == "" {
+		return nil, errors.New("server: LoadOptions.BaseURL is required")
+	}
+	if len(opts.Payloads) == 0 {
+		return nil, errors.New("server: LoadOptions.Payloads is empty")
+	}
+	if opts.Endpoint == "" {
+		opts.Endpoint = pathQuery
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 1
+	}
+	if opts.Total <= 0 {
+		opts.Total = len(opts.Payloads)
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: opts.Concurrency,
+		}}
+	}
+	url := opts.BaseURL + opts.Endpoint
+
+	var next atomic.Int64
+	var errCount atomic.Int64
+	latencies := make([][]int64, opts.Concurrency)
+	errs := make([]error, opts.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(opts.Total) || ctx.Err() != nil {
+					return
+				}
+				body := opts.Payloads[i%int64(len(opts.Payloads))]
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					errs[w] = fmt.Errorf("request %d: %w", i, err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				latencies[w] = append(latencies[w], time.Since(t0).Microseconds())
+				if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+					errCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var all []int64
+	for _, ls := range latencies {
+		all = append(all, ls...)
+	}
+	return buildReport(all, int(errCount.Load()), opts.Concurrency, elapsed), nil
+}
+
+// buildReport aggregates raw request latencies into a LoadReport.
+func buildReport(latencies []int64, errors, concurrency int, elapsed time.Duration) *LoadReport {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report := &LoadReport{
+		Concurrency:     concurrency,
+		Requests:        len(latencies),
+		Errors:          errors,
+		DurationSeconds: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		report.QPS = float64(len(latencies)) / elapsed.Seconds()
+	}
+	if len(latencies) > 0 {
+		report.P50Micros = float64(percentile(latencies, 0.50))
+		report.P90Micros = float64(percentile(latencies, 0.90))
+		report.P99Micros = float64(percentile(latencies, 0.99))
+		report.MaxMicros = float64(latencies[len(latencies)-1])
+	}
+	return report
+}
+
+// RunSerialBaseline measures the pre-serving status quo the subsystem is
+// judged against: per-request serial pipeline calls. Every request pays a
+// full evidence-generation run (no cache, no batching, no concurrency)
+// followed by SQL generation and execution — exactly what a script
+// wrapping the offline pipeline per incoming request would do, minus even
+// the HTTP overhead the served path pays. Questions replay round-robin
+// from the corpus dev split.
+func RunSerialBaseline(corpus *dataset.Corpus, client llm.Client, variant seed.Variant, generator string, total int) (*LoadReport, error) {
+	seedCfg, err := seedConfigFor(variant)
+	if err != nil {
+		return nil, err
+	}
+	p := seed.New(seedCfg, client, corpus)
+	gen, err := GeneratorFor(generator, client)
+	if err != nil {
+		return nil, err
+	}
+	if len(corpus.Dev) == 0 {
+		return nil, errors.New("server: corpus has no dev split to replay")
+	}
+	if total <= 0 {
+		total = len(corpus.Dev)
+	}
+	latencies := make([]int64, 0, total)
+	failures := 0
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		e := corpus.Dev[i%len(corpus.Dev)]
+		db := corpus.DBs[e.DB]
+		t0 := time.Now()
+		err := func() error {
+			ev, err := p.GenerateEvidence(e.DB, e.Question)
+			if err != nil {
+				return err
+			}
+			sql, err := gen.Generate(texttosql.Task{Example: e, DB: db, Evidence: ev})
+			if err != nil {
+				return err
+			}
+			stmt, err := db.Engine.Prepare(sql)
+			if err != nil {
+				return err
+			}
+			_, err = stmt.Exec()
+			return err
+		}()
+		latencies = append(latencies, time.Since(t0).Microseconds())
+		if err != nil {
+			failures++
+		}
+	}
+	return buildReport(latencies, failures, 1, time.Since(start)), nil
+}
+
+// percentile returns the p-th percentile of sorted latencies using the
+// nearest-rank method.
+func percentile(sorted []int64, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

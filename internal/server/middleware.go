@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// statusRecorder captures the response status for logging and metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+// wrap layers the server's cross-cutting middleware around a handler, from
+// the outside in: panic recovery, then structured request logging +
+// latency metrics, then (for admitted routes) admission control, then the
+// per-request deadline. Health and metrics routes skip admission so the
+// server stays observable under overload.
+func (s *Server) wrap(route string, admit bool, h http.HandlerFunc) http.Handler {
+	rm := s.routes[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+
+		defer func() {
+			if p := recover(); p != nil {
+				s.log.Error("panic serving request",
+					"route", route, "panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if rec.status == 0 {
+					writeError(rec, http.StatusInternalServerError, "internal error")
+				}
+			}
+			d := time.Since(start)
+			rm.observe(rec.status, d)
+			s.log.Info("request",
+				"method", r.Method, "route", route, "status", rec.status,
+				"duration_us", d.Microseconds(), "remote", r.RemoteAddr)
+		}()
+
+		if admit {
+			release, status, retryAfter := s.adm.admit()
+			if release == nil {
+				// Retry-After is whole seconds per RFC 9110; round up so
+				// the client never retries before a token exists.
+				secs := int(math.Ceil(retryAfter.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				rec.Header().Set("Retry-After", fmt.Sprint(secs))
+				msg := "rate limit exceeded"
+				if status == http.StatusServiceUnavailable {
+					msg = "server at capacity"
+				}
+				writeError(rec, status, msg)
+				return
+			}
+			defer release()
+		}
+
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		h(rec, r.WithContext(ctx))
+	})
+}

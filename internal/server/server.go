@@ -1,0 +1,607 @@
+// Package server is SEED's online serving subsystem: the practical-usability
+// half of the paper's claim, turned into a production-shaped HTTP service.
+// Evidence is generated (and cached) by an evserve.Service per corpus,
+// concurrent evidence requests are coalesced by a micro-batcher, text-to-SQL
+// generation and execution ride the per-database session registry and the
+// SQL engine's prepared-plan cache, and the whole thing sits behind
+// admission control (token-bucket rate limit + bounded in-flight semaphore)
+// with per-route latency histograms exported at /metrics.
+//
+// The JSON API:
+//
+//	POST /v1/query     {"db","question"}  -> evidence, SQL, executed rows
+//	POST /v1/evidence  {"db","question"}  -> evidence only
+//	GET  /v1/dbs                          -> servable databases
+//	GET  /v1/examples?db=&limit=          -> servable questions (for demos/load)
+//	GET  /healthz                         -> liveness
+//	GET  /metrics                         -> counters + latency histograms
+//
+// Serving is defined over corpus questions: natural-language parsing proper
+// is outside the reproduction's simulation boundary, so /v1/query resolves
+// the incoming question against the loaded corpus and answers exactly as
+// the offline pipeline would for that example — a golden-equivalence the
+// test suite asserts against experiments.Env.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/evserve"
+	"repro/internal/llm"
+	"repro/internal/seed"
+	"repro/internal/sqlengine"
+	"repro/internal/texttosql"
+)
+
+// Config assembles a Server. Corpora and Client are required; everything
+// else has serving-shaped defaults.
+type Config struct {
+	// Corpora are the benchmarks to serve. Database names must be unique
+	// across corpora.
+	Corpora []*dataset.Corpus
+	// Client is the LLM client backing evidence generation and the
+	// text-to-SQL generator.
+	Client llm.Client
+	// Variant selects the SEED evidence architecture (default seed_gpt).
+	Variant seed.Variant
+	// Generator names the baseline generator (see GeneratorFor; default
+	// codes-15b, the strongest concat-style system — the configuration
+	// the paper pairs SEED with for its headline numbers).
+	Generator string
+	// EvidenceWorkers bounds each corpus evidence service's worker pool;
+	// 0 defaults to GOMAXPROCS.
+	EvidenceWorkers int
+	// EvidenceCache is each evidence service's cache capacity in entries;
+	// 0 defaults to 4096.
+	EvidenceCache int
+	// BatchWindow is how long the micro-batcher holds the first request
+	// of a batch waiting for company; <= 0 disables batching.
+	BatchWindow time.Duration
+	// BatchMax flushes a batch early once it reaches this size; <= 1
+	// disables batching.
+	BatchMax int
+	// Rate is the admission token-bucket refill rate in requests/second;
+	// <= 0 disables rate limiting.
+	Rate float64
+	// Burst is the token bucket's capacity (min 1 when Rate > 0).
+	Burst int
+	// MaxInFlight bounds concurrently executing requests; <= 0 disables
+	// the in-flight limit.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline; <= 0 disables it.
+	RequestTimeout time.Duration
+	// Logger receives structured request logs; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is the serving subsystem. Construct with New; a Server is safe
+// for concurrent use and must be Closed to stop its evidence worker pools.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	reg *registry
+
+	// services and batchers are keyed by corpus name.
+	services map[string]*evserve.Service
+	batchers map[string]*batcher
+	corpora  map[string]*dataset.Corpus
+
+	adm    *admission
+	routes map[string]*routeMetrics
+	start  time.Time
+
+	closeOnce sync.Once
+}
+
+// New builds the serving subsystem: one seed pipeline + evidence service +
+// micro-batcher per corpus, one generator per corpus shared by its
+// sessions, and the admission controller. Spider-style corpora that ship
+// no description files are described up front (the paper's §IV-E3
+// pipeline), exactly as the offline experiment drivers do.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Corpora) == 0 {
+		return nil, errors.New("server: Config.Corpora is required")
+	}
+	if cfg.Client == nil {
+		return nil, errors.New("server: Config.Client is required")
+	}
+	if cfg.Variant == "" {
+		cfg.Variant = seed.VariantGPT
+	}
+	if cfg.Generator == "" {
+		cfg.Generator = "codes-15b"
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+
+	seedCfg, err := seedConfigFor(cfg.Variant)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		log:      log,
+		services: make(map[string]*evserve.Service),
+		batchers: make(map[string]*batcher),
+		corpora:  make(map[string]*dataset.Corpus),
+		adm:      newAdmission(cfg.Rate, cfg.Burst, cfg.MaxInFlight),
+		routes:   make(map[string]*routeMetrics),
+		start:    time.Now(),
+	}
+	gens := make(map[string]texttosql.Generator, len(cfg.Corpora))
+	for _, corpus := range cfg.Corpora {
+		if _, dup := s.corpora[corpus.Name]; dup {
+			return nil, fmt.Errorf("server: corpus %q listed twice", corpus.Name)
+		}
+		s.corpora[corpus.Name] = corpus
+		p := seed.New(seedCfg, cfg.Client, corpus)
+		variant := string(cfg.Variant)
+		if corpus.Name == "spider" {
+			// Spider ships no description files; generate them first, as
+			// Env.SpiderSeedEvidence does, and keep its cache namespace
+			// separate from BIRD's.
+			for _, db := range corpus.DBs {
+				if err := p.DescribeDatabase(db); err != nil {
+					s.Close() // stop worker pools already started for earlier corpora
+					return nil, fmt.Errorf("server: describing spider DB %s: %w", db.Name, err)
+				}
+			}
+			variant += "_spider"
+		}
+		svc := evserve.New(evserve.Options{
+			Variant:       variant,
+			Generate:      p.GenerateEvidence,
+			Workers:       cfg.EvidenceWorkers,
+			CacheCapacity: cfg.EvidenceCache,
+		})
+		s.services[corpus.Name] = svc
+		s.batchers[corpus.Name] = newBatcher(svc, cfg.BatchWindow, cfg.BatchMax)
+		gen, err := GeneratorFor(cfg.Generator, cfg.Client)
+		if err != nil {
+			s.Close() // svc is already registered; Close stops every pool so far
+			return nil, err
+		}
+		gens[corpus.Name] = gen
+	}
+	reg, err := newRegistry(cfg.Corpora, gens)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.reg = reg
+
+	for _, route := range []string{
+		pathQuery, pathEvidence, pathDBs, pathExamples, pathHealthz, pathMetrics,
+	} {
+		s.routes[route] = newRouteMetrics()
+	}
+	return s, nil
+}
+
+// Route names; also the keys of the /metrics routes map.
+const (
+	pathQuery    = "/v1/query"
+	pathEvidence = "/v1/evidence"
+	pathDBs      = "/v1/dbs"
+	pathExamples = "/v1/examples"
+	pathHealthz  = "/healthz"
+	pathMetrics  = "/metrics"
+)
+
+// Handler returns the server's HTTP handler with all middleware applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST "+pathQuery, s.wrap(pathQuery, true, s.handleQuery))
+	mux.Handle("POST "+pathEvidence, s.wrap(pathEvidence, true, s.handleEvidence))
+	mux.Handle("GET "+pathDBs, s.wrap(pathDBs, false, s.handleDBs))
+	mux.Handle("GET "+pathExamples, s.wrap(pathExamples, false, s.handleExamples))
+	mux.Handle("GET "+pathHealthz, s.wrap(pathHealthz, false, s.handleHealthz))
+	mux.Handle("GET "+pathMetrics, s.wrap(pathMetrics, false, s.handleMetrics))
+	return mux
+}
+
+// Close flushes pending micro-batches and stops the evidence worker
+// pools. It is idempotent, and safe to race with in-flight requests: they
+// fail with evserve.ErrClosed rather than hang.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		for _, b := range s.batchers {
+			b.Flush()
+		}
+		for _, svc := range s.services {
+			svc.Close()
+		}
+	})
+}
+
+// QueryRequest is the /v1/query (and /v1/evidence) request body.
+type QueryRequest struct {
+	// DB is the target database name.
+	DB string `json:"db"`
+	// Question is the natural-language question. Lookup is
+	// case-insensitive and whitespace-tolerant.
+	Question string `json:"question"`
+	// ID optionally names the corpus example directly instead of (or as
+	// well as) the question text.
+	ID string `json:"id,omitempty"`
+	// MaxRows truncates the returned rows when > 0. Execution and cost
+	// accounting always cover the full result.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// QueryTiming breaks a /v1/query response down by serving phase, in
+// microseconds.
+type QueryTiming struct {
+	EvidenceMicros int64 `json:"evidence_us"`
+	GenerateMicros int64 `json:"generate_us"`
+	PrepareMicros  int64 `json:"prepare_us"`
+	ExecuteMicros  int64 `json:"execute_us"`
+}
+
+// QueryResponse is the /v1/query response body.
+type QueryResponse struct {
+	DB        string `json:"db"`
+	ExampleID string `json:"example_id"`
+	Question  string `json:"question"`
+	// Evidence is the SEED-generated evidence the generator consumed.
+	Evidence string `json:"evidence"`
+	// SQL is the generated query.
+	SQL string `json:"sql"`
+	// Columns and Rows are the execution result; NULLs are JSON nulls.
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+	// RowCount is the full result size, even when Rows is truncated.
+	RowCount int `json:"row_count"`
+	// Truncated reports MaxRows truncation.
+	Truncated bool `json:"truncated,omitempty"`
+	// Cost is the engine's logical rows-touched charge.
+	Cost   int64       `json:"cost"`
+	Timing QueryTiming `json:"timing"`
+}
+
+// EvidenceResponse is the /v1/evidence response body.
+type EvidenceResponse struct {
+	DB       string `json:"db"`
+	Question string `json:"question"`
+	Variant  string `json:"variant"`
+	Evidence string `json:"evidence"`
+	Micros   int64  `json:"duration_us"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.reg.Session(req.DB)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q (GET /v1/dbs lists them)", req.DB))
+		return
+	}
+	e, ok := sess.Lookup(req.Question, req.ID)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf(
+			"question not in the loaded corpus for %q (GET /v1/examples?db=%s lists servable questions)",
+			req.DB, req.DB))
+		return
+	}
+
+	evStart := time.Now()
+	ev, err := s.batchers[sess.Corpus].Generate(r.Context(), e.DB, e.Question)
+	evDur := time.Since(evStart)
+	if err != nil {
+		writeUpstreamError(w, r, "evidence generation", err)
+		return
+	}
+
+	genStart := time.Now()
+	sql, err := sess.Gen.Generate(texttosql.Task{Example: e, DB: sess.DB, Evidence: ev})
+	genDur := time.Since(genStart)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("generation failed: %v", err))
+		return
+	}
+
+	prepStart := time.Now()
+	stmt, err := sess.DB.Engine.Prepare(sql)
+	prepDur := time.Since(prepStart)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("generated SQL does not parse: %v", err))
+		return
+	}
+	execStart := time.Now()
+	res, err := stmt.Exec()
+	execDur := time.Since(execStart)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("generated SQL does not execute: %v", err))
+		return
+	}
+
+	resp := QueryResponse{
+		DB:        e.DB,
+		ExampleID: e.ID,
+		Question:  e.Question,
+		Evidence:  ev,
+		SQL:       sql,
+		Cost:      res.Cost,
+		Timing: QueryTiming{
+			EvidenceMicros: evDur.Microseconds(),
+			GenerateMicros: genDur.Microseconds(),
+			PrepareMicros:  prepDur.Microseconds(),
+			ExecuteMicros:  execDur.Microseconds(),
+		},
+	}
+	if res.Rows != nil {
+		resp.Columns = res.Rows.Columns
+		resp.RowCount = len(res.Rows.Data)
+		n := resp.RowCount
+		if req.MaxRows > 0 && req.MaxRows < n {
+			n = req.MaxRows
+			resp.Truncated = true
+		}
+		resp.Rows = renderRows(res.Rows, n)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderRows converts engine rows to JSON-shaped values: NULL becomes
+// JSON null, everything else its text rendering.
+func renderRows(rows *sqlengine.Rows, n int) [][]any {
+	out := make([][]any, n)
+	for i := 0; i < n; i++ {
+		row := make([]any, len(rows.Data[i]))
+		for j, v := range rows.Data[i] {
+			if v.IsNull() {
+				row[j] = nil
+			} else {
+				row[j] = v.AsText()
+			}
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	sess, ok := s.reg.Session(req.DB)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q (GET /v1/dbs lists them)", req.DB))
+		return
+	}
+	question := req.Question
+	if req.ID != "" {
+		if e, ok := sess.Lookup("", req.ID); ok {
+			question = e.Question
+		}
+	}
+	if question == "" {
+		writeError(w, http.StatusBadRequest, "question (or a known id) is required")
+		return
+	}
+	start := time.Now()
+	// Evidence generation works for arbitrary question text — the SEED
+	// pipeline needs only the question and the database — so unlike
+	// /v1/query this endpoint is not restricted to corpus questions.
+	ev, err := s.batchers[sess.Corpus].Generate(r.Context(), req.DB, question)
+	if err != nil {
+		writeUpstreamError(w, r, "evidence generation", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, EvidenceResponse{
+		DB:       req.DB,
+		Question: question,
+		Variant:  s.services[sess.Corpus].Stats().Variant,
+		Evidence: ev,
+		Micros:   time.Since(start).Microseconds(),
+	})
+}
+
+// DBInfo is one entry of the /v1/dbs listing.
+type DBInfo struct {
+	Name     string `json:"name"`
+	Corpus   string `json:"corpus"`
+	Tables   int    `json:"tables"`
+	Examples int    `json:"examples"`
+}
+
+func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		DBs []DBInfo `json:"dbs"`
+	}{DBs: make([]DBInfo, 0, len(s.reg.DBNames()))}
+	for _, name := range s.reg.DBNames() {
+		// Info serves the listing from static metadata so /v1/dbs never
+		// forces every session (and its retriever warm-up) to build.
+		info, _ := s.reg.Info(name)
+		out.DBs = append(out.DBs, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ExampleInfo is one entry of the /v1/examples listing.
+type ExampleInfo struct {
+	ID       string `json:"id"`
+	Question string `json:"question"`
+}
+
+func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
+	db := r.URL.Query().Get("db")
+	if db == "" {
+		writeError(w, http.StatusBadRequest, "db query parameter is required")
+		return
+	}
+	limit := 10
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	// Listings come from static registry data — like /v1/dbs, this route
+	// never forces a session (and its retriever warm-up) to build.
+	examples, ok := s.reg.Examples(db, limit)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q", db))
+		return
+	}
+	info, _ := s.reg.Info(db)
+	out := struct {
+		DB       string        `json:"db"`
+		Total    int           `json:"total"`
+		Examples []ExampleInfo `json:"examples"`
+	}{DB: db, Total: info.Examples, Examples: make([]ExampleInfo, len(examples))}
+	for i, e := range examples {
+		out.Examples[i] = ExampleInfo{ID: e.ID, Question: e.Question}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"uptime_seconds":  time.Since(s.start).Seconds(),
+		"databases":       len(s.reg.DBNames()),
+		"sessions_loaded": s.reg.Loaded(),
+	})
+}
+
+// PlanCacheSnapshot aggregates the SQL engines' prepared-plan cache
+// counters over one corpus's databases.
+type PlanCacheSnapshot struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds  float64                      `json:"uptime_seconds"`
+	Databases      int                          `json:"databases"`
+	SessionsLoaded int64                        `json:"sessions_loaded"`
+	Routes         map[string]RouteSnapshot     `json:"routes"`
+	Admission      AdmissionStats               `json:"admission"`
+	Evidence       map[string]EvidenceSnapshot  `json:"evidence"`
+	Batcher        map[string]BatcherStats      `json:"batcher"`
+	PlanCache      map[string]PlanCacheSnapshot `json:"plan_cache"`
+}
+
+// EvidenceSnapshot is the /metrics view of one corpus evidence service.
+type EvidenceSnapshot struct {
+	Variant      string  `json:"variant"`
+	Workers      int     `json:"workers"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Entries      int     `json:"cache_entries"`
+	Dedups       int64   `json:"dedups"`
+	Generations  int64   `json:"generations"`
+	Failures     int64   `json:"failures"`
+}
+
+// Metrics snapshots every counter the server exports.
+func (s *Server) Metrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Databases:      len(s.reg.DBNames()),
+		SessionsLoaded: s.reg.Loaded(),
+		Routes:         make(map[string]RouteSnapshot, len(s.routes)),
+		Admission:      s.adm.stats(),
+		Evidence:       make(map[string]EvidenceSnapshot, len(s.services)),
+		Batcher:        make(map[string]BatcherStats, len(s.batchers)),
+		PlanCache:      make(map[string]PlanCacheSnapshot, len(s.corpora)),
+	}
+	for route, rm := range s.routes {
+		snap.Routes[route] = rm.snapshot()
+	}
+	for name, svc := range s.services {
+		st := svc.Stats()
+		es := EvidenceSnapshot{
+			Variant:     st.Variant,
+			Workers:     st.Workers,
+			CacheHits:   st.Cache.Hits,
+			CacheMisses: st.Cache.Misses,
+			Entries:     st.Cache.Entries,
+			Dedups:      st.Dedups,
+			Generations: st.Generations,
+			Failures:    st.Failures,
+		}
+		if probes := st.Cache.Hits + st.Cache.Misses; probes > 0 {
+			es.CacheHitRate = float64(st.Cache.Hits) / float64(probes)
+		}
+		snap.Evidence[name] = es
+	}
+	for name, b := range s.batchers {
+		snap.Batcher[name] = b.stats()
+	}
+	for name, corpus := range s.corpora {
+		var agg sqlengine.PlanCacheStats
+		for _, db := range corpus.DBs {
+			agg.Add(db.Engine.PlanCacheStats())
+		}
+		snap.PlanCache[name] = PlanCacheSnapshot{
+			Hits:      agg.Hits,
+			Misses:    agg.Misses,
+			Evictions: agg.Evictions,
+			Entries:   agg.Entries,
+		}
+	}
+	return snap
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}
+
+// decodeBody parses a JSON request body, answering 400 on malformed input.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		return false
+	}
+	return true
+}
+
+// writeUpstreamError maps evidence-path failures to HTTP statuses:
+// deadline/cancellation to 504/499-ish (504), service shutdown to 503,
+// anything else to 502.
+func writeUpstreamError(w http.ResponseWriter, r *http.Request, op string, err error) {
+	switch {
+	case errors.Is(err, evserve.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, op+" unavailable: server shutting down")
+	case r.Context().Err() != nil:
+		writeError(w, http.StatusGatewayTimeout, op+" deadline exceeded")
+	default:
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("%s failed: %v", op, err))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

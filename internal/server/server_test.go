@@ -1,0 +1,473 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/llm"
+	"repro/internal/seed"
+	"repro/internal/texttosql"
+)
+
+var (
+	corpusOnce sync.Once
+	birdCorpus *dataset.Corpus
+)
+
+func testCorpus(t *testing.T) *dataset.Corpus {
+	t.Helper()
+	corpusOnce.Do(func() { birdCorpus = dataset.BuildBIRD(dataset.BIRDOptions{Seed: 7}) })
+	return birdCorpus
+}
+
+func quietLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// newTestServer stands up a full serving stack over the shared BIRD corpus.
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Corpora:     []*dataset.Corpus{testCorpus(t)},
+		Client:      llm.NewSimulator(),
+		Variant:     seed.VariantGPT,
+		BatchWindow: 2 * time.Millisecond,
+		BatchMax:    16,
+		Logger:      quietLogger(),
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHealthzAndDBs(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/dbs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbs struct {
+		DBs []DBInfo `json:"dbs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dbs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(dbs.DBs) != len(testCorpus(t).DBs) {
+		t.Fatalf("/v1/dbs lists %d databases, corpus has %d", len(dbs.DBs), len(testCorpus(t).DBs))
+	}
+	for _, info := range dbs.DBs {
+		if info.Tables == 0 || info.Examples == 0 {
+			t.Errorf("db %s listed with %d tables / %d examples", info.Name, info.Tables, info.Examples)
+		}
+	}
+}
+
+func TestQueryServesEvidenceSQLAndRows(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	e := testCorpus(t).Dev[0]
+	resp, data := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+	if resp.StatusCode != 200 {
+		t.Fatalf("query = %d: %s", resp.StatusCode, data)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.ExampleID != e.ID {
+		t.Errorf("resolved example %s, want %s", qr.ExampleID, e.ID)
+	}
+	if qr.Evidence == "" || qr.SQL == "" {
+		t.Errorf("response missing evidence (%q) or SQL (%q)", qr.Evidence, qr.SQL)
+	}
+	if len(qr.Columns) == 0 {
+		t.Error("response has no columns")
+	}
+
+	// Question lookup is whitespace- and case-tolerant, and the example
+	// ID works as a direct key.
+	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: "  " + e.Question + "  "})
+	if resp.StatusCode != 200 {
+		t.Errorf("whitespace-padded question = %d", resp.StatusCode)
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, ID: e.ID})
+	if resp.StatusCode != 200 {
+		t.Errorf("lookup by id = %d: %s", resp.StatusCode, data)
+	}
+
+	// The session registry loaded exactly one session for all of this.
+	if loaded := srv.reg.Loaded(); loaded != 1 {
+		t.Errorf("sessions loaded = %d, want 1", loaded)
+	}
+}
+
+func TestQueryErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	e := testCorpus(t).Dev[0]
+
+	resp, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: "no_such_db", Question: e.Question})
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown db = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: "what is the airspeed velocity of an unladen swallow"})
+	if resp.StatusCode != 404 {
+		t.Errorf("unknown question = %d, want 404", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", bytes.NewReader([]byte("{not json")))
+	req.Header.Set("Content-Type", "application/json")
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != 400 {
+		t.Errorf("malformed body = %d, want 400", r2.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB})
+	if resp.StatusCode != 400 {
+		t.Errorf("evidence without question = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRateLimitReturns429WithRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, func(cfg *Config) {
+		cfg.Rate = 0.001 // effectively one request, then dry for a long time
+		cfg.Burst = 1
+	})
+	e := testCorpus(t).Dev[0]
+	resp, data := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	if resp.StatusCode != 200 {
+		t.Fatalf("first request = %d: %s", resp.StatusCode, data)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	if resp.StatusCode != 429 {
+		t.Fatalf("second request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After header")
+	}
+	// Health stays reachable under rate limiting.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Errorf("healthz under rate limit = %d", hr.StatusCode)
+	}
+}
+
+func TestOverloadReturns503(t *testing.T) {
+	srv, ts := newTestServer(t, func(cfg *Config) {
+		cfg.MaxInFlight = 1
+		cfg.BatchWindow = 200 * time.Millisecond // park the first request in a batch window
+		cfg.BatchMax = 64
+	})
+	e := testCorpus(t).Dev[0]
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+		first <- resp.StatusCode
+	}()
+	// Wait until the first request holds the only slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.adm.stats().Inflight == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	if resp.StatusCode != 503 {
+		t.Errorf("over-capacity request = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without a Retry-After header")
+	}
+	if code := <-first; code != 200 {
+		t.Errorf("first request = %d", code)
+	}
+}
+
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv, _ := newTestServer(t, nil)
+	h := srv.wrap(pathHealthz, false, func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != 500 {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	e := testCorpus(t).Dev[0]
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	q := snap.Routes["/v1/query"]
+	if q.Count != 3 {
+		t.Errorf("query route count = %d, want 3", q.Count)
+	}
+	if q.P50Micros <= 0 || q.P99Micros < q.P50Micros {
+		t.Errorf("histogram quantiles look wrong: p50=%v p99=%v", q.P50Micros, q.P99Micros)
+	}
+	ev := snap.Evidence["bird"]
+	if ev.Variant != string(seed.VariantGPT) {
+		t.Errorf("evidence variant = %q", ev.Variant)
+	}
+	if ev.CacheHits < 2 {
+		t.Errorf("repeat questions produced %d evidence cache hits, want >= 2", ev.CacheHits)
+	}
+	pc := snap.PlanCache["bird"]
+	if pc.Hits+pc.Misses == 0 {
+		t.Error("plan cache saw no traffic despite executed queries")
+	}
+	if snap.Admission.Admitted != 3 {
+		t.Errorf("admitted = %d, want 3", snap.Admission.Admitted)
+	}
+}
+
+// TestQueryGoldenEquivalence is the serving acceptance test: for the same
+// (db, question, variant), POST /v1/query must return exactly the
+// evidence, SQL and rows the offline pipeline produces — evidence checked
+// against experiments.Env's evidence service, SQL and rows against the
+// same generator constructor run offline.
+func TestQueryGoldenEquivalence(t *testing.T) {
+	env := experiments.NewEnv(7)
+	defer env.Close()
+	_, ts := newTestServer(t, nil)
+	offlineGen, err := GeneratorFor("codes-15b", env.Client)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checked := 0
+	for i := 0; i < len(env.BIRD.Dev); i += 9 {
+		e := env.BIRD.Dev[i]
+		resp, data := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+
+		offlineEv, err := env.BIRDSeedEvidenceFor(context.Background(), seed.VariantGPT, e.DB, e.Question)
+		if err != nil {
+			t.Fatalf("%s: offline evidence: %v", e.ID, err)
+		}
+		offlineSQL, genErr := offlineGen.Generate(texttosql.Task{
+			Example: e, DB: env.BIRD.DBs[e.DB], Evidence: offlineEv,
+		})
+		if genErr != nil {
+			if resp.StatusCode == 200 {
+				t.Errorf("%s: offline generation failed (%v) but serving succeeded", e.ID, genErr)
+			}
+			continue
+		}
+		offlineRes, execErr := env.BIRD.DBs[e.DB].Engine.Exec(offlineSQL)
+
+		if execErr != nil || offlineRes.Rows == nil {
+			if resp.StatusCode == 200 {
+				t.Errorf("%s: offline execution failed (%v) but serving returned 200", e.ID, execErr)
+			}
+			continue
+		}
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: serving = %d (%s) but offline pipeline succeeded", e.ID, resp.StatusCode, data)
+			continue
+		}
+		var qr QueryResponse
+		if err := json.Unmarshal(data, &qr); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		if qr.Evidence != offlineEv {
+			t.Errorf("%s: evidence diverged\n  online:  %q\n  offline: %q", e.ID, qr.Evidence, offlineEv)
+		}
+		if qr.SQL != offlineSQL {
+			t.Errorf("%s: SQL diverged\n  online:  %q\n  offline: %q", e.ID, qr.SQL, offlineSQL)
+		}
+		offlineRows := renderRows(offlineRes.Rows, len(offlineRes.Rows.Data))
+		onlineRows := qr.Rows
+		if onlineRows == nil {
+			onlineRows = [][]any{}
+		}
+		if offlineRows == nil {
+			offlineRows = [][]any{}
+		}
+		if qr.RowCount != len(offlineRes.Rows.Data) || !reflect.DeepEqual(onlineRows, offlineRows) {
+			t.Errorf("%s: rows diverged (online %d, offline %d)", e.ID, qr.RowCount, len(offlineRes.Rows.Data))
+		}
+		if qr.Cost != offlineRes.Cost {
+			t.Errorf("%s: cost diverged (online %d, offline %d)", e.ID, qr.Cost, offlineRes.Cost)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d examples fully checked — sample too thin to call it equivalence", checked)
+	}
+}
+
+// TestBatchedServingBeatsSerialPipeline is the load-harness acceptance
+// test: at concurrency 16 on a warm evidence cache, micro-batched serving
+// must sustain higher QPS than per-request serial pipeline calls — the
+// pre-serving status quo, where every request pays a fresh evidence
+// generation with no cache, no batching and no concurrency. This is the
+// paper's practical-usability claim measured end to end.
+func TestBatchedServingBeatsSerialPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load measurement; skipped in -short")
+	}
+	_, ts := newTestServer(t, func(cfg *Config) {
+		cfg.BatchMax = 16 // match client concurrency: saturated batches flush on size
+	})
+	corpus := testCorpus(t)
+	var payloads [][]byte
+	for i := 0; i < len(corpus.Dev); i += 2 {
+		e := corpus.Dev[i]
+		body, _ := json.Marshal(QueryRequest{DB: e.DB, Question: e.Question})
+		payloads = append(payloads, body)
+	}
+	ctx := context.Background()
+	// Warm pass: fill the evidence cache and build every session.
+	if _, err := RunLoad(ctx, LoadOptions{BaseURL: ts.URL, Payloads: payloads, Concurrency: 8}); err != nil {
+		t.Fatal(err)
+	}
+	batched, err := RunLoad(ctx, LoadOptions{BaseURL: ts.URL, Payloads: payloads, Concurrency: 16, Total: 2 * len(payloads)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A few dev examples legitimately 422 (the generator emits SQL that
+	// does not execute); that is serving behaviour, not load failure. It
+	// must stay a small minority.
+	if batched.Errors*10 > batched.Requests {
+		t.Fatalf("load error rate too high: %d/%d", batched.Errors, batched.Requests)
+	}
+	serial, err := RunSerialBaseline(corpus, llm.NewSimulator(), seed.VariantGPT, "codes-15b", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pipeline serial: %.0f qps (p50 %.0fus); batched c=16: %.0f qps (p50 %.0fus p99 %.0fus)",
+		serial.QPS, serial.P50Micros, batched.QPS, batched.P50Micros, batched.P99Micros)
+	// Require a real margin, not a coin flip: measured ~8x on one CPU,
+	// so 1.5x leaves ample room for noisy machines.
+	if batched.QPS <= 1.5*serial.QPS {
+		t.Errorf("batched serving (%.0f qps) does not beat per-request serial pipeline calls (%.0f qps) by >= 1.5x",
+			batched.QPS, serial.QPS)
+	}
+}
+
+// TestListingsDoNotBuildSessions pins the lazy-registry contract: the
+// discovery routes serve static corpus data and must not trigger session
+// builds (retriever warm-up) for every database they list.
+func TestListingsDoNotBuildSessions(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	for _, url := range []string{ts.URL + "/v1/dbs", ts.URL + "/v1/examples?db=financial&limit=3"} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s = %d", url, resp.StatusCode)
+		}
+	}
+	if loaded := srv.reg.Loaded(); loaded != 0 {
+		t.Errorf("listings built %d sessions, want 0", loaded)
+	}
+}
+
+func TestNewRejectsUnknownVariant(t *testing.T) {
+	_, err := New(Config{
+		Corpora: []*dataset.Corpus{testCorpus(t)},
+		Client:  llm.NewSimulator(),
+		Variant: "seed_deepsek", // typo must fail loudly, not fall back to GPT
+		Logger:  quietLogger(),
+	})
+	if err == nil {
+		t.Fatal("New accepted an unknown variant")
+	}
+}
+
+func TestGeneratorForRejectsUnknown(t *testing.T) {
+	client := llm.NewSimulator()
+	for _, name := range []string{"codes-15b", "codes-7b", "codes-3b", "codes-1b", "chess", "chess-sscg", "rsl-sql", "dail-sql", "c3"} {
+		gen, err := GeneratorFor(name, client)
+		if err != nil || gen == nil {
+			t.Errorf("GeneratorFor(%q) = %v", name, err)
+		}
+	}
+	if _, err := GeneratorFor("gpt-17", client); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestServerCloseIdempotentAndRejectsAfter(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	e := testCorpus(t).Dev[0]
+	resp, data := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	if resp.StatusCode != 200 {
+		t.Fatalf("pre-close request = %d: %s", resp.StatusCode, data)
+	}
+	srv.Close()
+	srv.Close() // idempotent
+	resp, _ = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: fmt.Sprintf("%s (uncached)", e.Question)})
+	if resp.StatusCode != 503 {
+		t.Errorf("evidence after Close = %d, want 503", resp.StatusCode)
+	}
+}

@@ -68,6 +68,16 @@ type PlanCacheStats struct {
 	Entries int
 }
 
+// Add accumulates another snapshot into st. Callers that own several
+// databases (a corpus, a serving registry) use it to aggregate per-engine
+// caches into one view.
+func (st *PlanCacheStats) Add(o PlanCacheStats) {
+	st.Hits += o.Hits
+	st.Misses += o.Misses
+	st.Evictions += o.Evictions
+	st.Entries += o.Entries
+}
+
 // PlanCacheStats snapshots the database's prepared-plan cache counters.
 func (db *Database) PlanCacheStats() PlanCacheStats {
 	return db.plans.stats()

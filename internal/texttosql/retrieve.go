@@ -22,7 +22,15 @@ type Retriever struct {
 
 	mu       sync.Mutex
 	distinct map[string][]string    // "db\x00table\x00col" -> values
-	indexes  map[string]*valueIndex // db name -> BM25 value index
+	indexes  map[string]*indexEntry // db name -> build-once BM25 value index
+}
+
+// indexEntry wraps a lazily built value index so concurrent first lookups
+// construct it exactly once, without holding the retriever lock for the
+// duration of the build (the build itself issues engine queries).
+type indexEntry struct {
+	once sync.Once
+	idx  *valueIndex
 }
 
 // Strategy selects the retrieval mechanism.
@@ -47,7 +55,25 @@ func NewRetriever(s Strategy) *Retriever {
 	return &Retriever{
 		strategy: s,
 		distinct: make(map[string][]string),
-		indexes:  make(map[string]*valueIndex),
+		indexes:  make(map[string]*indexEntry),
+	}
+}
+
+// Warm eagerly loads the retriever's per-database state — the distinct
+// value inventories and, under StrategyBM25, the BM25 value index — so a
+// serving session pays the build cost once at load time instead of on its
+// first request. Warm is idempotent and safe for concurrent use.
+func (r *Retriever) Warm(db *schema.DB) {
+	if r.strategy == StrategyBM25 {
+		r.valueIndex(db)
+		return
+	}
+	for _, t := range db.Engine.Tables() {
+		for _, c := range t.Columns {
+			if c.Type == "TEXT" {
+				r.distinctValues(db, t.Name, c.Name)
+			}
+		}
 	}
 }
 
@@ -203,6 +229,12 @@ func (r *Retriever) distinctValues(db *schema.DB, table, col string) []string {
 		}
 	}
 	r.mu.Lock()
+	if winner, ok := r.distinct[key]; ok {
+		// A concurrent caller built the same inventory first; keep its
+		// slice so every caller observes one identity per key.
+		r.mu.Unlock()
+		return winner
+	}
 	r.distinct[key] = vals
 	r.mu.Unlock()
 	return vals
@@ -210,11 +242,17 @@ func (r *Retriever) distinctValues(db *schema.DB, table, col string) []string {
 
 func (r *Retriever) valueIndex(db *schema.DB) *valueIndex {
 	r.mu.Lock()
-	idx, ok := r.indexes[db.Name]
-	r.mu.Unlock()
-	if ok {
-		return idx
+	e, ok := r.indexes[db.Name]
+	if !ok {
+		e = &indexEntry{}
+		r.indexes[db.Name] = e
 	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.idx = r.buildValueIndex(db) })
+	return e.idx
+}
+
+func (r *Retriever) buildValueIndex(db *schema.DB) *valueIndex {
 	var docs, tables, cols, values []string
 	for _, t := range db.Engine.Tables() {
 		for _, c := range t.Columns {
@@ -229,11 +267,7 @@ func (r *Retriever) valueIndex(db *schema.DB) *valueIndex {
 			}
 		}
 	}
-	idx = &valueIndex{index: bm25.New(docs), tables: tables, cols: cols, values: values}
-	r.mu.Lock()
-	r.indexes[db.Name] = idx
-	r.mu.Unlock()
-	return idx
+	return &valueIndex{index: bm25.New(docs), tables: tables, cols: cols, values: values}
 }
 
 // lookupDocs resolves doc-derivable atoms (value maps, ranges, documented

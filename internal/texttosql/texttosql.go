@@ -90,11 +90,23 @@ type Options struct {
 	UnitTest bool
 }
 
+// OptionsProvider is implemented by generators built through NewGenerator.
+// It exposes the option set so callers that manage generator lifecycles —
+// the serving session registry warming a session's value retriever, for
+// one — can reach the shared machinery without knowing which baseline the
+// generator realises.
+type OptionsProvider interface {
+	Options() Options
+}
+
 // pipeline is the shared Generator implementation.
 type pipeline struct {
 	opts   Options
 	client llm.Client
 }
+
+// Options implements OptionsProvider.
+func (p *pipeline) Options() Options { return p.opts }
 
 // NewGenerator builds a generator from explicit options. The five paper
 // baselines are canned option sets over this core.
