@@ -36,9 +36,9 @@ type engineBenchReport struct {
 }
 
 type engineBenchResult struct {
-	Name   string  `json:"name"`
+	Name    string  `json:"name"`
 	NsPerOp float64 `json:"ns_per_op"`
-	Ops    int     `json:"ops"`
+	Ops     int     `json:"ops"`
 }
 
 // measure times fn repeatedly for at least minDur (and at least 5 ops) and

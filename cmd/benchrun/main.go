@@ -8,6 +8,7 @@
 //	benchrun -exp all -stats        # plus service throughput + plan cache reports
 //	benchrun -benchjson BENCH_sqlengine.json   # emit the engine perf snapshot and exit
 //	benchrun -servebench BENCH_server.json     # emit the serving perf snapshot and exit
+//	benchrun -pipebench BENCH_pipeline.json    # emit the evidence-pipeline snapshot and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -29,6 +30,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print the evidence-service throughput and plan-cache reports at the end")
 	benchJSON := flag.String("benchjson", "", "write the sqlengine perf snapshot (cold parse, cached plan, nested vs hash join, Evaluate pass) to this JSON file and exit")
 	serveBench := flag.String("servebench", "", "write the serving perf snapshot (serial vs concurrent vs micro-batched /v1/query load) to this JSON file and exit")
+	pipeBench := flag.String("pipebench", "", "write the evidence-pipeline perf snapshot (cold sequential vs stage-DAG generation, partial-warm memo reuse) to this JSON file and exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -41,6 +43,13 @@ func main() {
 	if *serveBench != "" {
 		if err := writeServerBench(*serveBench, *seedFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "servebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pipeBench != "" {
+		if err := writePipeBench(*pipeBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebench: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -85,6 +94,7 @@ func main() {
 	}
 	if *stats {
 		fmt.Println(experiments.ThroughputReport(env).Render())
+		fmt.Println(experiments.PipelineStageReport(env).Render())
 		fmt.Println(experiments.PlanCacheReport(env).Render())
 	}
 }

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/pipeline"
+	"repro/internal/seed"
+)
+
+// The -pipebench mode: the evidence-pipeline perf snapshot. It compares
+// cold GenerateEvidence wall time between the pre-refactor sequential
+// call chain (GenerateEvidenceSequential) and the stage DAG, per variant,
+// with the simulator configured to charge a per-call API latency — the
+// cost that dominates a deployed SEED, where every LLM request is a
+// network round trip. The DAG's win is stage overlap: schema
+// summarization's LLM call runs concurrently with keyword extraction and
+// sampling, so the deepseek variant hides one of its three round trips
+// entirely. Stage memos are reset before every DAG run so the cold
+// comparison measures overlap only, never memo hits.
+//
+// A second scenario measures the warm partial hit: the same question
+// text against a different database, where the question-keyed
+// extract_keywords memo answers while the db-keyed stages regenerate.
+//
+// Byte-identity between the two paths is checked on every question and
+// reported in the snapshot; the golden test in internal/seed pins the
+// same property over the full dev slice.
+
+// pipeBenchLatency is the simulated per-LLM-call API round trip. Small
+// enough to keep the snapshot fast, large enough to dominate the
+// simulator's CPU cost the way real API latency (hundreds of
+// milliseconds) dominates real pipelines.
+const pipeBenchLatency = 5 * time.Millisecond
+
+// pipeBenchReport is the BENCH_pipeline.json schema.
+type pipeBenchReport struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	NumCPU      int     `json:"num_cpu"`
+	Seed        uint64  `json:"seed"`
+	LatencyMS   float64 `json:"simulated_llm_latency_ms"`
+	// Questions is the BIRD dev question count replayed per variant.
+	Questions int `json:"questions"`
+	// Variants holds the cold sequential-vs-DAG comparison per SEED
+	// variant.
+	Variants map[string]*pipeVariantBench `json:"variants"`
+	// SpeedupCold is the headline number: cold DAG speedup over the
+	// sequential chain for the deepseek variant, whose summarization
+	// stage gives the DAG a whole LLM round trip to hide.
+	SpeedupCold float64 `json:"speedup_cold_dag_vs_sequential"`
+	// ByteIdentical reports that every DAG generation matched its
+	// sequential twin byte for byte.
+	ByteIdentical bool `json:"byte_identical"`
+	// PartialWarm is the cross-database memo-reuse scenario.
+	PartialWarm *partialWarmBench `json:"partial_warm"`
+}
+
+// pipeVariantBench is one variant's cold comparison.
+type pipeVariantBench struct {
+	// SequentialUS and DagUS are total cold wall times over all questions.
+	SequentialUS int64 `json:"sequential_us"`
+	DagUS        int64 `json:"dag_us"`
+	// Speedup is SequentialUS / DagUS.
+	Speedup float64 `json:"speedup"`
+	// MeanOverlap is the mean trace overlap (stage-seconds per
+	// wall-second): 1.0 would mean the DAG ran fully sequentially.
+	MeanOverlap float64 `json:"mean_overlap"`
+	// Stages is the per-stage cost aggregation across the DAG runs.
+	Stages []pipeline.StageAgg `json:"stages"`
+}
+
+// partialWarmBench measures a warm partial hit: same question text,
+// different database, against the gpt variant.
+type partialWarmBench struct {
+	Variant string `json:"variant"`
+	// ColdUS is the fully cold generation on the first database;
+	// WarmUS is the same question against a second database, where the
+	// question-keyed keyword memo answers.
+	ColdUS int64 `json:"cold_us"`
+	WarmUS int64 `json:"warm_us"`
+	// Speedup is ColdUS / WarmUS.
+	Speedup float64 `json:"speedup"`
+	// SkippedStages lists the stages served from memo on the warm run.
+	SkippedStages []string `json:"skipped_stages"`
+}
+
+func writePipeBench(path string, corpusSeed uint64) error {
+	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})
+	questions := corpus.Dev
+	if len(questions) > 48 {
+		questions = questions[:48]
+	}
+	report := &pipeBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        corpusSeed,
+		LatencyMS:   float64(pipeBenchLatency) / float64(time.Millisecond),
+		Questions:   len(questions),
+		Variants:    make(map[string]*pipeVariantBench),
+	}
+	report.ByteIdentical = true
+
+	for _, cfg := range []seed.Config{seed.ConfigGPT(), seed.ConfigDeepSeek()} {
+		client := llm.NewSimulator()
+		client.SetLatency(pipeBenchLatency)
+		p := seed.New(cfg, client, corpus)
+		agg := pipeline.NewAggregator()
+		vb := &pipeVariantBench{}
+		var overlapSum float64
+		for _, ex := range questions {
+			t0 := time.Now()
+			sev, err := p.GenerateEvidenceSequential(ex.DB, ex.Question)
+			if err != nil {
+				return fmt.Errorf("pipebench %s sequential %s: %w", cfg.Variant, ex.ID, err)
+			}
+			vb.SequentialUS += time.Since(t0).Microseconds()
+
+			// Reset the stage memos so the DAG run is genuinely cold:
+			// this measures stage overlap, not memoization.
+			p.ResetStageMemos()
+			t0 = time.Now()
+			dev, tr, err := p.GenerateEvidenceTraced(context.Background(), ex.DB, ex.Question)
+			if err != nil {
+				return fmt.Errorf("pipebench %s dag %s: %w", cfg.Variant, ex.ID, err)
+			}
+			vb.DagUS += time.Since(t0).Microseconds()
+			if dev != sev {
+				report.ByteIdentical = false
+			}
+			agg.Observe(tr)
+			overlapSum += tr.Overlap()
+		}
+		if vb.DagUS > 0 {
+			vb.Speedup = float64(vb.SequentialUS) / float64(vb.DagUS)
+		}
+		vb.MeanOverlap = overlapSum / float64(len(questions))
+		vb.Stages = agg.Snapshot()
+		report.Variants[string(cfg.Variant)] = vb
+	}
+	report.SpeedupCold = report.Variants[string(seed.VariantDeepSeek)].Speedup
+
+	// Partial warm: warm the question-keyed keyword memo on one database,
+	// then replay the same question text against a different database.
+	pw, err := measurePartialWarm(corpus, questions)
+	if err != nil {
+		return err
+	}
+	report.PartialWarm = pw
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	for name, vb := range report.Variants {
+		fmt.Printf("  %-14s cold sequential %7.1fms  cold DAG %7.1fms  speedup %.2fx  overlap %.2fx\n",
+			name,
+			float64(vb.SequentialUS)/1e3, float64(vb.DagUS)/1e3, vb.Speedup, vb.MeanOverlap)
+	}
+	fmt.Printf("  partial warm (%s): cold %.2fms -> warm %.2fms (%.2fx), skipped %v\n",
+		pw.Variant, float64(pw.ColdUS)/1e3, float64(pw.WarmUS)/1e3, pw.Speedup, pw.SkippedStages)
+	fmt.Printf("  byte identical: %v\n", report.ByteIdentical)
+	return nil
+}
+
+// measurePartialWarm times the cross-database memo hit on the gpt
+// variant. To keep the timing stable it replays the pair several times on
+// fresh memos and reports the fastest cold/warm pair.
+func measurePartialWarm(corpus *dataset.Corpus, questions []dataset.Example) (*partialWarmBench, error) {
+	// Find two distinct databases in the slice.
+	dbA := questions[0].DB
+	dbB := ""
+	for _, ex := range questions {
+		if ex.DB != dbA {
+			dbB = ex.DB
+			break
+		}
+	}
+	if dbB == "" {
+		for name := range corpus.DBs {
+			if name != dbA {
+				dbB = name
+				break
+			}
+		}
+	}
+	q := questions[0].Question
+
+	client := llm.NewSimulator()
+	client.SetLatency(pipeBenchLatency)
+	cfg := seed.ConfigGPT()
+	p := seed.New(cfg, client, corpus)
+
+	pw := &partialWarmBench{Variant: string(cfg.Variant)}
+	for rep := 0; rep < 5; rep++ {
+		p.ResetStageMemos()
+		t0 := time.Now()
+		if _, _, err := p.GenerateEvidenceTraced(context.Background(), dbA, q); err != nil {
+			return nil, fmt.Errorf("pipebench partial-warm cold: %w", err)
+		}
+		cold := time.Since(t0).Microseconds()
+
+		t0 = time.Now()
+		_, tr, err := p.GenerateEvidenceTraced(context.Background(), dbB, q)
+		if err != nil {
+			return nil, fmt.Errorf("pipebench partial-warm warm: %w", err)
+		}
+		warm := time.Since(t0).Microseconds()
+		if pw.ColdUS == 0 || cold < pw.ColdUS {
+			pw.ColdUS = cold
+		}
+		if pw.WarmUS == 0 || warm < pw.WarmUS {
+			pw.WarmUS = warm
+		}
+		if rep == 0 {
+			for _, st := range tr.Stages {
+				if st.CacheHit {
+					pw.SkippedStages = append(pw.SkippedStages, st.Stage)
+				}
+			}
+		}
+	}
+	if pw.WarmUS > 0 {
+		pw.Speedup = float64(pw.ColdUS) / float64(pw.WarmUS)
+	}
+	return pw, nil
+}

@@ -6,8 +6,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/evidence"
@@ -17,9 +20,17 @@ import (
 
 func main() {
 	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
+	traceN := flag.Int("trace", 0, "print the stage-graph trace tree for the first n BIRD dev questions and exit")
 	flag.Parse()
 
 	env := experiments.NewEnv(*seedFlag)
+	if *traceN > 0 {
+		if err := printTraces(env, *traceN); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	conditions := []struct {
 		name string
 		ev   func(e dataset.Example) string
@@ -71,6 +82,37 @@ func main() {
 			fmt.Printf("    %-20s correct=%d wrong=%d\n", k, pk[0], pk[1])
 		}
 	}
+}
+
+// printTraces renders the evidence DAG's provenance tree for the first n
+// dev questions: per-stage wall time, token spend and memo hits, indented
+// by dependency depth. The second generation of a repeated question shows
+// the trace preserved across the evidence cache.
+func printTraces(env *experiments.Env, n int) error {
+	ctx := context.Background()
+	dev := env.BIRD.Dev
+	if n > len(dev) {
+		n = len(dev)
+	}
+	for _, ex := range dev[:n] {
+		ev, err := env.BIRDSeedEvidenceTraced(ctx, seed.VariantGPT, ex.DB, ex.Question)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+		fmt.Printf("[%s] %s\n", ex.ID, ex.Question)
+		fmt.Printf("  evidence: %s\n", ev.Text)
+		if ev.CacheHit {
+			fmt.Println("  (served from evidence cache; trace below is the original generation)")
+		}
+		if ev.Trace != nil {
+			tree := strings.TrimSuffix(ev.Trace.Tree(), "\n")
+			for _, line := range strings.Split(tree, "\n") {
+				fmt.Println("  " + line)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func mapFunc(m map[string]string) func(e dataset.Example) string {

@@ -31,6 +31,7 @@ func main() {
 	revise := flag.Bool("revise", false, "also print the SEED_revised form")
 	workers := flag.Int("workers", 0, "evidence worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 4096, "evidence cache capacity in entries (negative disables)")
+	stats := flag.Bool("stats", false, "print the per-stage pipeline cost table (runs, memo hits, wall time, tokens)")
 	flag.Parse()
 
 	var corpus *dataset.Corpus
@@ -62,10 +63,10 @@ func main() {
 	}
 
 	svc := evserve.New(evserve.Options{
-		Variant:       string(cfg.Variant),
-		Generate:      p.GenerateEvidence,
-		Workers:       *workers,
-		CacheCapacity: *cacheSize,
+		Variant:        string(cfg.Variant),
+		GenerateTraced: p.GenerateEvidenceTraced,
+		Workers:        *workers,
+		CacheCapacity:  *cacheSize,
 	})
 	defer svc.Close()
 
@@ -108,5 +109,22 @@ func main() {
 	for model, u := range ledger.PerModel {
 		fmt.Printf("--   %s: %d calls, %d prompt tokens, %d completion tokens\n",
 			model, u.Calls, u.PromptTokens, u.CompletionTokens)
+	}
+
+	if *stats {
+		fmt.Printf("\n-- per-stage pipeline cost (%s)\n", cfg.Variant)
+		fmt.Printf("--   %-18s %6s %10s %6s %12s %12s %9s\n",
+			"stage", "runs", "memo hits", "hit%", "mean wall", "total wall", "tokens")
+		for _, sa := range svc.Stats().Stages {
+			fmt.Printf("--   %-18s %6d %10d %5.0f%% %12s %12s %9d\n",
+				sa.Stage, sa.Count, sa.CacheHits, 100*sa.HitRate(),
+				(time.Duration(sa.MeanMicros()) * time.Microsecond).Round(time.Microsecond),
+				(time.Duration(sa.WallMicros) * time.Microsecond).Round(time.Microsecond),
+				sa.Tokens)
+		}
+		for stage, ms := range p.StageMemoStats() {
+			fmt.Printf("--   memo %-18s %d entries, %d hits / %d misses, %d evictions\n",
+				stage, ms.Entries, ms.Hits, ms.Misses, ms.Evictions)
+		}
 	}
 }

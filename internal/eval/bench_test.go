@@ -14,7 +14,7 @@ import (
 // which is exactly the hot path the planner targets.
 type goldEcho struct{}
 
-func (goldEcho) Name() string                             { return "gold-echo" }
+func (goldEcho) Name() string                              { return "gold-echo" }
 func (goldEcho) Generate(t texttosql.Task) (string, error) { return t.Example.GoldSQL, nil }
 
 // BenchmarkEvaluate measures a full Evaluate pass over the BIRD dev split,

@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/pipeline"
 )
 
 // Key identifies one evidence request in the cache: the database name, the
@@ -60,11 +62,24 @@ type cacheShard struct {
 	order    *list.List // front = most recently used
 }
 
+// Entry is one cached evidence result: the evidence text plus the
+// provenance trace of the generation that produced it. The trace is
+// preserved across cache hits so a served response can always say where
+// its evidence came from — it describes the original generation, not the
+// lookup.
+type Entry struct {
+	// Evidence is the generated evidence text.
+	Evidence string
+	// Trace is the stage-graph provenance of the original generation;
+	// nil when the wrapped generator is untraced.
+	Trace *pipeline.Trace
+}
+
 // cacheEntry is the list payload: the key (for eviction bookkeeping) and the
-// cached evidence string.
+// cached evidence entry.
 type cacheEntry struct {
 	key Key
-	val string
+	val Entry
 }
 
 // NewCache builds a sharded LRU of roughly capacity entries, spread over
@@ -99,16 +114,16 @@ func NewCache(capacity, shards int) *Cache {
 	return c
 }
 
-// Get returns the cached evidence for k, marking the entry most recently
+// Get returns the cached evidence entry for k, marking it most recently
 // used. The second result reports whether the key was present.
-func (c *Cache) Get(k Key) (string, bool) {
+func (c *Cache) Get(k Key) (Entry, bool) {
 	s := c.shards[k.shardFor(c.mask)]
 	s.mu.Lock()
 	el, ok := s.entries[k]
 	if !ok {
 		s.mu.Unlock()
 		c.misses.Add(1)
-		return "", false
+		return Entry{}, false
 	}
 	s.order.MoveToFront(el)
 	v := el.Value.(*cacheEntry).val
@@ -117,10 +132,10 @@ func (c *Cache) Get(k Key) (string, bool) {
 	return v, true
 }
 
-// Put stores evidence under k, evicting the shard's least recently used
-// entry when the shard is full. Re-putting an existing key refreshes both
-// the value and its recency.
-func (c *Cache) Put(k Key, v string) {
+// Put stores an evidence entry under k, evicting the shard's least
+// recently used entry when the shard is full. Re-putting an existing key
+// refreshes both the value and its recency.
+func (c *Cache) Put(k Key, v Entry) {
 	s := c.shards[k.shardFor(c.mask)]
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -25,11 +25,18 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/pipeline"
 )
 
 // GenerateFunc produces evidence for one (database, question) pair. It must
 // be safe for concurrent use; seed.Pipeline.GenerateEvidence qualifies.
 type GenerateFunc func(dbName, question string) (string, error)
+
+// TracedFunc produces evidence plus its stage-graph provenance trace for
+// one (database, question) pair. It must be safe for concurrent use;
+// seed.Pipeline.GenerateEvidenceTraced qualifies.
+type TracedFunc func(ctx context.Context, dbName, question string) (string, *pipeline.Trace, error)
 
 // Options configures a Service.
 type Options struct {
@@ -37,8 +44,13 @@ type Options struct {
 	// "seed_gpt"). It becomes part of every cache key, so services with
 	// distinct variants never serve each other's entries.
 	Variant string
-	// Generate is the wrapped generation function. Required.
+	// Generate is the wrapped generation function. Required unless
+	// GenerateTraced is set.
 	Generate GenerateFunc
+	// GenerateTraced, when set, is preferred over Generate: generations
+	// then carry per-stage provenance traces, which the cache preserves
+	// and Stats aggregates into per-stage cost counters.
+	GenerateTraced TracedFunc
 	// Workers bounds the worker pool; 0 defaults to GOMAXPROCS.
 	Workers int
 	// CacheCapacity is the total cache size in entries; 0 defaults to
@@ -66,9 +78,27 @@ type Result struct {
 	Request Request
 	// Evidence is the generated (or cached) evidence; empty on error.
 	Evidence string
+	// Trace is the stage-graph provenance of the evidence — preserved
+	// across cache hits, nil when the generator is untraced.
+	Trace *pipeline.Trace
+	// CacheHit reports the request was answered from the evidence cache.
+	CacheHit bool
 	// Err is the per-request failure, including ctx.Err() for requests
 	// abandoned by cancellation.
 	Err error
+}
+
+// Evidence is a traced generation outcome, the GenerateTraced return
+// value.
+type Evidence struct {
+	// Text is the evidence string.
+	Text string
+	// Trace is the stage-graph provenance of the generation that produced
+	// Text. On a cache hit it describes the original generation, not the
+	// lookup; it is nil when the wrapped generator is untraced.
+	Trace *pipeline.Trace
+	// CacheHit reports this request was served from the evidence cache.
+	CacheHit bool
 }
 
 // Service is a concurrent, cached evidence-generation service. Construct
@@ -76,8 +106,10 @@ type Result struct {
 // use by multiple goroutines.
 type Service struct {
 	opts   Options
+	gen    TracedFunc // normalized generator: Options.GenerateTraced or wrapped Options.Generate
 	cache  *Cache
 	flight flightGroup
+	stages *pipeline.Aggregator
 
 	jobs      chan job
 	workersWG sync.WaitGroup
@@ -105,19 +137,28 @@ type job struct {
 }
 
 // New builds and starts a Service; its worker pool runs until Close. It
-// panics if opts.Generate is nil, since a service with nothing to wrap is
-// a programming error, not a runtime condition.
+// panics if neither generation function is set, since a service with
+// nothing to wrap is a programming error, not a runtime condition.
 func New(opts Options) *Service {
-	if opts.Generate == nil {
-		panic("evserve: Options.Generate is required")
+	if opts.Generate == nil && opts.GenerateTraced == nil {
+		panic("evserve: Options.Generate or Options.GenerateTraced is required")
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	s := &Service{
-		opts: opts,
-		jobs: make(chan job),
-		done: make(chan struct{}),
+		opts:   opts,
+		jobs:   make(chan job),
+		done:   make(chan struct{}),
+		stages: pipeline.NewAggregator(),
+	}
+	s.gen = opts.GenerateTraced
+	if s.gen == nil {
+		plain := opts.Generate
+		s.gen = func(ctx context.Context, db, question string) (string, *pipeline.Trace, error) {
+			ev, err := plain(db, question)
+			return ev, nil, err
+		}
 	}
 	if opts.CacheCapacity >= 0 {
 		s.cache = NewCache(opts.CacheCapacity, opts.CacheShards)
@@ -144,7 +185,8 @@ func (s *Service) worker() {
 				j.wg.Done()
 				continue
 			}
-			j.out.Evidence, j.out.Err = s.Generate(j.ctx, j.db, j.question)
+			ev, err := s.GenerateTraced(j.ctx, j.db, j.question)
+			j.out.Evidence, j.out.Trace, j.out.CacheHit, j.out.Err = ev.Text, ev.Trace, ev.CacheHit, err
 			j.wg.Done()
 		}
 	}
@@ -155,40 +197,60 @@ func (s *Service) worker() {
 // key across concurrent callers. It does not use the worker pool, so it is
 // safe to call from inside another Service's GenerateFunc.
 func (s *Service) Generate(ctx context.Context, db, question string) (string, error) {
+	ev, err := s.GenerateTraced(ctx, db, question)
+	return ev.Text, err
+}
+
+// GenerateTraced is Generate plus provenance: the returned Evidence
+// carries the stage-graph trace of the generation that produced it (the
+// cache preserves traces, so warm hits still explain themselves) and
+// whether this particular request was a cache hit.
+func (s *Service) GenerateTraced(ctx context.Context, db, question string) (Evidence, error) {
 	if err := ctx.Err(); err != nil {
-		return "", err
+		return Evidence{}, err
 	}
 	select {
 	case <-s.done:
-		return "", ErrClosed
+		return Evidence{}, ErrClosed
 	default:
 	}
 	k := KeyFor(db, s.opts.Variant, question)
 	if s.cache != nil {
-		if v, ok := s.cache.Get(k); ok {
-			return v, nil
+		if e, ok := s.cache.Get(k); ok {
+			return Evidence{Text: e.Evidence, Trace: e.Trace, CacheHit: true}, nil
 		}
 	}
-	v, err, shared := s.flight.do(k, func() (string, error) {
+	v, err, shared := s.flight.do(k, func() (Entry, error) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		start := time.Now()
-		ev, err := s.opts.Generate(db, question)
+		// The generation is shared by every deduped caller, so it must
+		// not run under any single caller's context: the leader hanging
+		// up would fail followers whose own contexts are alive. Requests
+		// already generating run to completion — the contract GenerateAll
+		// documents — and callers stop *waiting* via their own ctx.
+		ev, trace, err := s.gen(context.Background(), db, question)
 		s.genNanos.Add(time.Since(start).Nanoseconds())
 		s.generations.Add(1)
 		if err != nil {
 			s.failures.Add(1)
-			return "", err
+			// Keep the partial trace: it names the stage that aborted.
+			return Entry{Trace: trace}, err
 		}
+		s.stages.Observe(trace)
+		e := Entry{Evidence: ev, Trace: trace}
 		if s.cache != nil {
-			s.cache.Put(k, ev)
+			s.cache.Put(k, e)
 		}
-		return ev, nil
+		return e, nil
 	})
 	if shared {
 		s.dedups.Add(1)
 	}
-	return v, err
+	if err != nil {
+		return Evidence{Trace: v.Trace}, err
+	}
+	return Evidence{Text: v.Evidence, Trace: v.Trace}, nil
 }
 
 // GenerateAll runs a batch of requests through the bounded worker pool and
@@ -272,6 +334,10 @@ type Stats struct {
 	BatchRequests int64
 	// BatchTime is the summed wall time of all GenerateAll calls.
 	BatchTime time.Duration
+	// Stages aggregates the per-stage provenance traces of every traced
+	// generation: count, memo hits, wall time and token spend per
+	// pipeline stage. Empty when the wrapped generator is untraced.
+	Stages []pipeline.StageAgg
 }
 
 // Throughput returns batch requests served per second of batch wall time,
@@ -307,6 +373,7 @@ func (s *Service) Stats() Stats {
 		BatchCalls:     s.batchCalls.Load(),
 		BatchRequests:  s.batchRequests.Load(),
 		BatchTime:      time.Duration(s.batchNanos.Load()),
+		Stages:         s.stages.Snapshot(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/pipeline"
 )
 
 // echoService builds a service whose generator returns "db/question" and
@@ -108,12 +110,12 @@ func TestSingleFlightDedup(t *testing.T) {
 func TestCacheEviction(t *testing.T) {
 	c := NewCache(2, 1) // one shard, two entries
 	k1, k2, k3 := KeyFor("db", "v", "a"), KeyFor("db", "v", "b"), KeyFor("db", "v", "c")
-	c.Put(k1, "1")
-	c.Put(k2, "2")
+	c.Put(k1, Entry{Evidence: "1"})
+	c.Put(k2, Entry{Evidence: "2"})
 	if _, ok := c.Get(k1); !ok {
 		t.Fatal("k1 missing before eviction")
 	}
-	c.Put(k3, "3") // evicts k2: k1 was refreshed by the Get above
+	c.Put(k3, Entry{Evidence: "3"}) // evicts k2: k1 was refreshed by the Get above
 	if _, ok := c.Get(k2); ok {
 		t.Error("k2 should have been evicted as least recently used")
 	}
@@ -438,11 +440,191 @@ func BenchmarkWorkerScalingLatencyBound(b *testing.B) {
 func BenchmarkCacheGet(b *testing.B) {
 	c := NewCache(1024, 16)
 	k := KeyFor("db", "v", "question")
-	c.Put(k, "evidence")
+	c.Put(k, Entry{Evidence: "evidence"})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok := c.Get(k); !ok {
 			b.Fatal("miss")
 		}
+	}
+}
+
+// tracedEcho returns a TracedFunc that fabricates a two-stage trace and
+// counts invocations.
+func tracedEcho(calls *atomic.Int64) TracedFunc {
+	return func(ctx context.Context, db, question string) (string, *pipeline.Trace, error) {
+		calls.Add(1)
+		return db + "/" + question, &pipeline.Trace{
+			Graph: "test",
+			Stages: []pipeline.StageTrace{
+				{Stage: "extract", WallMicros: 5, Tokens: 11},
+				{Stage: "generate", WallMicros: 7, Tokens: 23, Deps: []string{"extract"}},
+			},
+			WallMicros:   9,
+			SerialMicros: 12,
+		}, nil
+	}
+}
+
+// TestGenerateTracedPreservesTraceAcrossCache: the trace returned on a
+// cache hit is the original generation's, and CacheHit distinguishes the
+// two requests.
+func TestGenerateTracedPreservesTraceAcrossCache(t *testing.T) {
+	var calls atomic.Int64
+	svc := New(Options{Variant: "t", GenerateTraced: tracedEcho(&calls)})
+	defer svc.Close()
+
+	ctx := context.Background()
+	first, err := svc.GenerateTraced(ctx, "db", "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit || first.Text != "db/q" {
+		t.Fatalf("first = %+v, want fresh generation", first)
+	}
+	if first.Trace == nil || len(first.Trace.Stages) != 2 {
+		t.Fatalf("first trace = %+v", first.Trace)
+	}
+	second, err := svc.GenerateTraced(ctx, "db", "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("second request should be a cache hit")
+	}
+	if second.Trace != first.Trace {
+		t.Error("cache must preserve the original generation's trace")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("generator ran %d times, want 1", calls.Load())
+	}
+}
+
+// TestStatsAggregatesStages: per-stage counters accumulate across traced
+// generations and flow out through Stats.
+func TestStatsAggregatesStages(t *testing.T) {
+	var calls atomic.Int64
+	svc := New(Options{Variant: "t", GenerateTraced: tracedEcho(&calls)})
+	defer svc.Close()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := svc.GenerateTraced(ctx, "db", fmt.Sprintf("q%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := svc.Stats()
+	if len(st.Stages) != 2 {
+		t.Fatalf("Stats.Stages = %+v, want 2 stages", st.Stages)
+	}
+	if st.Stages[0].Stage != "extract" || st.Stages[0].Count != 3 || st.Stages[0].Tokens != 33 {
+		t.Errorf("extract agg = %+v", st.Stages[0])
+	}
+	if st.Stages[1].Stage != "generate" || st.Stages[1].WallMicros != 21 {
+		t.Errorf("generate agg = %+v", st.Stages[1])
+	}
+}
+
+// TestGenerateAllCarriesTraces: batch results carry each request's trace
+// and cache-hit flag.
+func TestGenerateAllCarriesTraces(t *testing.T) {
+	var calls atomic.Int64
+	svc := New(Options{Variant: "t", Workers: 2, GenerateTraced: tracedEcho(&calls)})
+	defer svc.Close()
+	reqs := []Request{
+		{DB: "db", Question: "q1"},
+		{DB: "db", Question: "q1"}, // duplicate: cache or single-flight
+		{DB: "db", Question: "q2"},
+	}
+	results, err := svc.GenerateAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("result %d: %v", i, r.Err)
+		}
+		if r.Trace == nil {
+			t.Errorf("result %d has no trace", i)
+		}
+	}
+	if calls.Load() != 2 {
+		t.Errorf("generator ran %d times for 2 distinct questions", calls.Load())
+	}
+}
+
+// TestUntracedGeneratorStillWorks: services built on the plain
+// GenerateFunc keep their exact old behaviour, just with nil traces.
+func TestUntracedGeneratorStillWorks(t *testing.T) {
+	svc := New(Options{Variant: "t", Generate: func(db, q string) (string, error) {
+		return "ev", nil
+	}})
+	defer svc.Close()
+	ev, err := svc.GenerateTraced(context.Background(), "db", "q")
+	if err != nil || ev.Text != "ev" || ev.Trace != nil {
+		t.Fatalf("untraced = %+v, %v", ev, err)
+	}
+	if st := svc.Stats(); len(st.Stages) != 0 {
+		t.Errorf("untraced service reports stages: %+v", st.Stages)
+	}
+}
+
+// TestSharedGenerationDetachedFromCallerContext: the single-flight
+// generation is shared by every deduped caller, so it must not run under
+// the leader's context — a leader hanging up mid-generation must not
+// poison the result for followers (or for the cache).
+func TestSharedGenerationDetachedFromCallerContext(t *testing.T) {
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	svc := New(Options{
+		Variant: "t",
+		GenerateTraced: func(ctx context.Context, db, q string) (string, *pipeline.Trace, error) {
+			close(started)
+			<-gate
+			if err := ctx.Err(); err != nil {
+				return "", nil, err // would fire if the leader's ctx leaked in
+			}
+			return "ok", nil, nil
+		},
+	})
+	defer svc.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	leader := make(chan Evidence, 1)
+	go func() {
+		ev, _ := svc.GenerateTraced(ctx, "db", "q")
+		leader <- ev
+	}()
+	<-started // the generation is in flight under the leader
+	cancel()  // leader hangs up mid-generation
+	close(gate)
+	if ev := <-leader; ev.Text != "ok" {
+		t.Fatalf("generation observed the leader's cancellation: %+v", ev)
+	}
+	// The result was cached despite the cancelled leader.
+	warm, err := svc.GenerateTraced(context.Background(), "db", "q")
+	if err != nil || !warm.CacheHit {
+		t.Fatalf("follow-up = %+v, %v; want cache hit", warm, err)
+	}
+}
+
+// TestFailedGenerationKeepsPartialTrace: on error the partial trace
+// (naming the stage that aborted) survives to the caller.
+func TestFailedGenerationKeepsPartialTrace(t *testing.T) {
+	svc := New(Options{
+		Variant: "t",
+		GenerateTraced: func(ctx context.Context, db, q string) (string, *pipeline.Trace, error) {
+			return "", &pipeline.Trace{
+				Graph:  "g",
+				Stages: []pipeline.StageTrace{{Stage: "bad", Err: "boom"}},
+			}, errors.New("boom")
+		},
+	})
+	defer svc.Close()
+	ev, err := svc.GenerateTraced(context.Background(), "db", "q")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ev.Trace == nil || len(ev.Trace.Stages) != 1 || ev.Trace.Stages[0].Err != "boom" {
+		t.Fatalf("failure dropped the partial trace: %+v", ev.Trace)
 	}
 }

@@ -65,10 +65,10 @@ func ExampleService_GenerateAll() {
 // population and the least recently used entry is evicted first.
 func ExampleCache() {
 	c := evserve.NewCache(2, 1)
-	c.Put(evserve.KeyFor("db", "seed_gpt", "q1"), "ev1")
-	c.Put(evserve.KeyFor("db", "seed_gpt", "q2"), "ev2")
-	c.Get(evserve.KeyFor("db", "seed_gpt", "q1"))        // refresh q1
-	c.Put(evserve.KeyFor("db", "seed_gpt", "q3"), "ev3") // evicts q2
+	c.Put(evserve.KeyFor("db", "seed_gpt", "q1"), evserve.Entry{Evidence: "ev1"})
+	c.Put(evserve.KeyFor("db", "seed_gpt", "q2"), evserve.Entry{Evidence: "ev2"})
+	c.Get(evserve.KeyFor("db", "seed_gpt", "q1"))                                 // refresh q1
+	c.Put(evserve.KeyFor("db", "seed_gpt", "q3"), evserve.Entry{Evidence: "ev3"}) // evicts q2
 
 	_, q1 := c.Get(evserve.KeyFor("db", "seed_gpt", "q1"))
 	_, q2 := c.Get(evserve.KeyFor("db", "seed_gpt", "q2"))

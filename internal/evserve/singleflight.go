@@ -5,7 +5,7 @@ import "sync"
 // flightCall is one in-flight generation shared by concurrent callers.
 type flightCall struct {
 	done chan struct{}
-	val  string
+	val  Entry
 	err  error
 }
 
@@ -21,7 +21,7 @@ type flightGroup struct {
 // do runs fn once per key among concurrent callers. The boolean result
 // reports whether this caller shared another caller's run instead of
 // executing fn itself.
-func (g *flightGroup) do(k Key, fn func() (string, error)) (string, error, bool) {
+func (g *flightGroup) do(k Key, fn func() (Entry, error)) (Entry, error, bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[Key]*flightCall)

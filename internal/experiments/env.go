@@ -14,6 +14,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/evserve"
 	"repro/internal/llm"
+	"repro/internal/pipeline"
 	"repro/internal/seed"
 	"repro/internal/sqlengine"
 )
@@ -65,8 +66,8 @@ func (e *Env) birdService(v seed.Variant) *evserve.Service {
 		if e.dsSvc == nil {
 			p := seed.New(seed.ConfigDeepSeek(), e.Client, e.BIRD)
 			e.dsSvc = evserve.New(evserve.Options{
-				Variant:  string(seed.VariantDeepSeek),
-				Generate: p.GenerateEvidence,
+				Variant:        string(seed.VariantDeepSeek),
+				GenerateTraced: p.GenerateEvidenceTraced,
 			})
 		}
 		return e.dsSvc
@@ -74,8 +75,8 @@ func (e *Env) birdService(v seed.Variant) *evserve.Service {
 	if e.gptSvc == nil {
 		p := seed.New(seed.ConfigGPT(), e.Client, e.BIRD)
 		e.gptSvc = evserve.New(evserve.Options{
-			Variant:  string(seed.VariantGPT),
-			Generate: p.GenerateEvidence,
+			Variant:        string(seed.VariantGPT),
+			GenerateTraced: p.GenerateEvidenceTraced,
 		})
 	}
 	return e.gptSvc
@@ -98,6 +99,14 @@ func (e *Env) BIRDSeedEvidenceFor(ctx context.Context, v seed.Variant, db, quest
 	return e.birdService(v).Generate(ctx, db, question)
 }
 
+// BIRDSeedEvidenceTraced is BIRDSeedEvidenceFor plus provenance: the
+// returned evidence carries the stage-graph trace of the generation that
+// produced it (preserved across the evidence cache). Diagnostics use it
+// to print per-question trace trees.
+func (e *Env) BIRDSeedEvidenceTraced(ctx context.Context, v seed.Variant, db, question string) (evserve.Evidence, error) {
+	return e.birdService(v).GenerateTraced(ctx, db, question)
+}
+
 // BIRDRevisedEvidence generates the SEED_revised condition: deepseek
 // evidence with join clauses stripped by the revision model. The revised
 // service's generation function pulls the base evidence through the
@@ -110,16 +119,19 @@ func (e *Env) BIRDRevisedEvidence() map[string]string {
 		p := seed.New(seed.ConfigDeepSeek(), e.Client, e.BIRD)
 		e.revisedSvc = evserve.New(evserve.Options{
 			Variant: "seed_revised",
-			Generate: func(db, question string) (string, error) {
-				ev, err := base.Generate(context.Background(), db, question)
+			// The trace passed through is the base deepseek generation's:
+			// revision is a post-pass over its output, so that is where
+			// the evidence actually came from.
+			GenerateTraced: func(ctx context.Context, db, question string) (string, *pipeline.Trace, error) {
+				ev, err := base.GenerateTraced(ctx, db, question)
 				if err != nil {
-					return "", err
+					return "", nil, err
 				}
-				revised, err := p.Revise(ev)
-				if err != nil {
-					return ev, nil
+				revised, rerr := p.Revise(ev.Text)
+				if rerr != nil {
+					return ev.Text, ev.Trace, nil
 				}
-				return revised, nil
+				return revised, ev.Trace, nil
 			},
 		})
 	}
@@ -144,8 +156,8 @@ func (e *Env) SpiderSeedEvidence() map[string]string {
 			}
 		}
 		e.spiderSvc = evserve.New(evserve.Options{
-			Variant:  string(seed.VariantGPT) + "_spider",
-			Generate: p.GenerateEvidence,
+			Variant:        string(seed.VariantGPT) + "_spider",
+			GenerateTraced: p.GenerateEvidenceTraced,
 		})
 	}
 	svc := e.spiderSvc
@@ -207,6 +219,36 @@ func PlanCacheReport(env *Env) *Table {
 			fmt.Sprint(agg.Evictions),
 			fmt.Sprint(agg.Entries),
 		})
+	}
+	return t
+}
+
+// PipelineStageReport renders the per-stage cost table of every evidence
+// service built so far: how often each DAG stage ran, how often its memo
+// answered, and the wall time and token spend it accumulated. This is the
+// table the stage-graph refactor exists to make visible — where a
+// generation actually spends its time.
+func PipelineStageReport(env *Env) *Table {
+	t := &Table{
+		Title:  "Evidence pipeline stages",
+		Header: []string{"variant", "stage", "runs", "memo hits", "hit%", "mean wall", "total wall", "tokens"},
+	}
+	for _, st := range env.EvidenceStats() {
+		for _, sa := range st.Stages {
+			t.Rows = append(t.Rows, []string{
+				st.Variant,
+				sa.Stage,
+				fmt.Sprint(sa.Count),
+				fmt.Sprint(sa.CacheHits),
+				fmt.Sprintf("%.0f%%", 100*sa.HitRate()),
+				(time.Duration(sa.MeanMicros()) * time.Microsecond).Round(time.Microsecond).String(),
+				(time.Duration(sa.WallMicros) * time.Microsecond).Round(time.Microsecond).String(),
+				fmt.Sprint(sa.Tokens),
+			})
+		}
+	}
+	if len(t.Rows) == 0 {
+		t.Notes = append(t.Notes, "no traced generations yet")
 	}
 	return t
 }

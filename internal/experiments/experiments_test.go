@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -221,5 +222,31 @@ func TestEvidenceAccessorsConcurrent(t *testing.T) {
 	wg.Wait()
 	if got := len(e.EvidenceStats()); got < 2 {
 		t.Errorf("EvidenceStats lists %d services, want >= 2", got)
+	}
+}
+
+func TestPipelineStageReportAndTracedAccessor(t *testing.T) {
+	e := testEnv(t)
+	ex := e.BIRD.Dev[0]
+	ev, err := e.BIRDSeedEvidenceTraced(context.Background(), seed.VariantGPT, ex.DB, ex.Question)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Text == "" || ev.Trace == nil {
+		t.Fatalf("traced accessor = %+v, want evidence with trace", ev)
+	}
+	// The offline batch accessor and the traced per-question accessor
+	// answer from the same service, so the bytes must agree.
+	if batch := e.BIRDSeedEvidence(seed.VariantGPT); batch[ex.ID] != ev.Text {
+		t.Errorf("traced evidence %q != batch evidence %q", ev.Text, batch[ex.ID])
+	}
+	report := PipelineStageReport(e).Render()
+	for _, stage := range []string{seed.StageKeywords, seed.StageSamples, seed.StageSchema, seed.StageShots, seed.StageGenerate} {
+		if !strings.Contains(report, stage) {
+			t.Errorf("stage report missing %s:\n%s", stage, report)
+		}
+	}
+	if !strings.Contains(report, string(seed.VariantGPT)) {
+		t.Errorf("stage report missing variant column:\n%s", report)
 	}
 }

@@ -29,6 +29,8 @@ import (
 	"hash/fnv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Model describes one simulated LLM.
@@ -178,15 +180,37 @@ type Client interface {
 type Simulator struct {
 	mu     sync.Mutex
 	ledger Ledger
+
+	// latencyNanos, when non-zero, is slept per completion to model the
+	// network round trip of the real HTTP APIs. See SetLatency.
+	latencyNanos atomic.Int64
 }
 
 // NewSimulator returns a fresh simulator with an empty ledger.
 func NewSimulator() *Simulator { return &Simulator{} }
 
+// SetLatency makes every Complete call take at least d of wall time,
+// modelling the API round trip the paper's pipelines pay on each real
+// LLM request. The default is zero (no sleep), which keeps tests and
+// deterministic golden comparisons instant; latency changes only wall
+// time, never response content. Benchmarks enable it to measure how much
+// call latency the stage-graph scheduler hides by overlapping
+// independent LLM calls — the dominant cost in a deployed SEED, where a
+// single API round trip is hundreds of milliseconds.
+func (s *Simulator) SetLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.latencyNanos.Store(int64(d))
+}
+
 // Complete implements Client.
 func (s *Simulator) Complete(req Request) (Response, error) {
 	if req.Task == nil {
 		return Response{}, errors.New("llm: request has no task")
+	}
+	if d := s.latencyNanos.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
 	}
 	m, err := Lookup(req.Model)
 	if err != nil {

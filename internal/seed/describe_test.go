@@ -1,0 +1,127 @@
+package seed
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/llm"
+	"repro/internal/sqlengine"
+)
+
+func TestInferMeaning(t *testing.T) {
+	cases := []struct {
+		column, value, want string
+	}{
+		{"IsActive", "T", "true"},
+		{"IsActive", "F", "false"},
+		{"sex", "F", "female"},
+		{"sex", "M", "male"},
+		{"gender", "F", "female"},
+		{"Gender", "M", "male"},
+		{"client_gender", "f", "female"}, // case-insensitive value, compound column
+		{"grade", "M", "m"},              // M outside a sex/gender column is just a code
+		{"status", "OWNER", "owner"},     // unknown codes fall back to lowercase
+		{"status", "t", "true"},
+	}
+	for _, c := range cases {
+		if got := inferMeaning(c.column, c.value); got != c.want {
+			t.Errorf("inferMeaning(%q, %q) = %q, want %q", c.column, c.value, got, c.want)
+		}
+	}
+}
+
+func TestDescribeTableDocumentsColumns(t *testing.T) {
+	spider := dataset.BuildSpider(7)
+	p := New(ConfigGPT(), llm.NewSimulator(), spider)
+	db := spider.DBs["pets_1"]
+	var student *sqlengine.Table
+	for _, tab := range db.Engine.Tables() {
+		if tab.Name == "student" {
+			student = tab
+		}
+	}
+	if student == nil {
+		t.Fatal("pets_1 has no student table")
+	}
+	// A maximally capable model documents every eligible column.
+	td := p.describeTable(db, student, llm.Model{Name: "perfect", Capability: 1}, llm.NewRand(1))
+	if td.Table != "student" {
+		t.Fatalf("doc table = %q", td.Table)
+	}
+	if len(td.Columns) != len(student.Columns) {
+		t.Fatalf("documented %d of %d columns", len(td.Columns), len(student.Columns))
+	}
+	byName := make(map[string]int, len(td.Columns))
+	for i, cd := range td.Columns {
+		byName[strings.ToLower(cd.Column)] = i
+		if cd.FullName == "" || cd.Description == "" {
+			t.Errorf("column %s has empty doc: %+v", cd.Column, cd)
+		}
+	}
+	// sex is a low-cardinality TEXT column: it must get a value map with
+	// world-knowledge glosses.
+	sex := td.Columns[byName["sex"]]
+	if sex.ValueMap["F"] != "female" || sex.ValueMap["M"] != "male" {
+		t.Errorf("sex value map = %v", sex.ValueMap)
+	}
+	// stuid is numeric: no value map.
+	if vm := td.Columns[byName["stuid"]].ValueMap; len(vm) != 0 {
+		t.Errorf("numeric column got a value map: %v", vm)
+	}
+	// Identifier expansion contract: every documented full name is the
+	// space-joined NormalizeIdent form of the column identifier.
+	for _, cd := range td.Columns {
+		if want := strings.Join(normalizeIdent(cd.Column), " "); cd.FullName != want {
+			t.Errorf("column %s full name = %q, want %q", cd.Column, cd.FullName, want)
+		}
+	}
+}
+
+func TestDescribeDatabaseInstallsDocsForEveryTable(t *testing.T) {
+	spider := dataset.BuildSpider(7)
+	p := New(ConfigGPT(), llm.NewSimulator(), spider)
+	db := spider.DBs["pets_1"]
+	if err := p.DescribeDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range db.Engine.Tables() {
+		td, ok := db.Doc(tab.Name)
+		if !ok {
+			t.Errorf("table %s has no generated doc", tab.Name)
+			continue
+		}
+		if len(td.Columns) != len(tab.Columns) {
+			t.Errorf("table %s: %d column docs for %d columns", tab.Name, len(td.Columns), len(tab.Columns))
+		}
+	}
+	// Generated docs round-trip through the CSV description-file format,
+	// so re-describing is stable (the docs came from ParseTableDocCSV).
+	before, _ := db.Doc("student")
+	if err := p.DescribeDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := db.Doc("student")
+	if before.CSV() != after.CSV() {
+		t.Error("re-describing the same database changed the student doc")
+	}
+}
+
+func TestDescribeDatabaseFeedsGeneration(t *testing.T) {
+	// The end-to-end §IV-E3 property: after describing a doc-less Spider
+	// database, generation can ground a synonym question in the generated
+	// value map ("female students" -> sex = 'F').
+	spider := dataset.BuildSpider(7)
+	p := New(ConfigGPT(), llm.NewSimulator(), spider)
+	db := spider.DBs["pets_1"]
+	if err := p.DescribeDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.GenerateEvidence("pets_1", "How many female students have a dog?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ev, "sex = 'F'") && !strings.Contains(ev, "sex = 'f'") {
+		t.Errorf("generated evidence does not use the generated value map: %q", ev)
+	}
+}

@@ -17,6 +17,13 @@ import (
 // post-truncation prompt: description-file value maps and ranges, sampled
 // values, and exemplar formulas.
 func (p *Pipeline) generate(db *schema.DB, question string, visible []tableView, samples []Sample, shots []Shot) (string, error) {
+	ev, _, err := p.generateCounted(db, question, visible, samples, shots)
+	return ev, err
+}
+
+// generateCounted is generate plus the request's token spend, for stage
+// traces.
+func (p *Pipeline) generateCounted(db *schema.DB, question string, visible []tableView, samples []Sample, shots []Shot) (string, int, error) {
 	prompt := buildPrompt(db, question, visible, samples, shots)
 	resp, err := p.client.Complete(llm.Request{
 		Model:  p.cfg.GenerateModel,
@@ -28,9 +35,9 @@ func (p *Pipeline) generate(db *schema.DB, question string, visible []tableView,
 		},
 	})
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
-	return resp.Text, nil
+	return resp.Text, resp.PromptTokens + resp.CompletionTokens, nil
 }
 
 // Prompt section markers. Head-truncation drops leading sections first, so

@@ -1,0 +1,111 @@
+package seed
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/evidence"
+	"repro/internal/llm"
+)
+
+func TestReviseTableDriven(t *testing.T) {
+	p := deepseekPipeline(t)
+	cases := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			name: "empty passes through",
+			in:   "",
+			want: "",
+		},
+		{
+			name: "no joins unchanged",
+			in:   "magnet refers to Magnet = 1",
+			want: "magnet refers to Magnet = 1",
+		},
+		{
+			name: "join stripped, rest preserved",
+			in:   "magnet refers to Magnet = 1; join on satscores.cds = schools.CDSCode",
+			want: "magnet refers to Magnet = 1",
+		},
+		{
+			name: "multiple joins all stripped",
+			in:   "weekly issuance refers to frequency = 'POPLATEK TYDNE'; join on account.district_id = district.district_id; join on loan.account_id = account.account_id",
+			want: "weekly issuance refers to frequency = 'POPLATEK TYDNE'",
+		},
+		{
+			name: "joins-only evidence is rejected entirely",
+			in:   "join on satscores.cds = schools.CDSCode; join on frpm.CDSCode = schools.CDSCode",
+			want: "",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := p.Revise(c.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("Revise(%q) = %q, want %q", c.in, got, c.want)
+			}
+			// Revision is deterministic: the same evidence revises the
+			// same way every time.
+			again, err := p.Revise(c.in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != got {
+				t.Errorf("Revise not deterministic: %q then %q", got, again)
+			}
+		})
+	}
+}
+
+// TestReviseWeakModelLeavesJoinsOccasionally pins the capability
+// mechanism behind SEED_revised's imperfection (Table VII): a reviser
+// with weak instruction following leaves some join clauses behind, while
+// the paper's deepseek-v3 strips nearly all of them.
+func TestReviseWeakModelLeavesJoinsOccasionally(t *testing.T) {
+	llm.RegisterModel(llm.Model{
+		Name:                 "sloppy-reviser",
+		ContextWindow:        64000,
+		Capability:           0.5,
+		InstructionFollowing: 0, // (1-IF)*0.1 = 10% leave rate per join
+	})
+	cfg := ConfigDeepSeek()
+	cfg.ReviseModel = "sloppy-reviser"
+	weak := New(cfg, llm.NewSimulator(), testCorpus(t))
+	strict := deepseekPipeline(t)
+
+	const n = 200
+	weakLeft, strictLeft := 0, 0
+	for i := 0; i < n; i++ {
+		ev := fmt.Sprintf("flag%d refers to F%d = 1; join on t%d.a = u%d.b", i, i, i, i)
+		wr, err := weak.Revise(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evidence.HasJoins(wr) {
+			weakLeft++
+		}
+		if !strings.Contains(wr, fmt.Sprintf("F%d = 1", i)) {
+			t.Fatalf("weak reviser dropped a non-join clause: %q", wr)
+		}
+		sr, err := strict.Revise(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if evidence.HasJoins(sr) {
+			strictLeft++
+		}
+	}
+	if weakLeft == 0 {
+		t.Errorf("weak reviser left 0/%d joins; its 10%% leave rate should show", n)
+	}
+	if strictLeft >= weakLeft {
+		t.Errorf("strict reviser left %d joins vs weak %d — capability gating inverted", strictLeft, weakLeft)
+	}
+}

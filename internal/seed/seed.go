@@ -12,6 +12,7 @@
 package seed
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/llm"
+	"repro/internal/pipeline"
 	"repro/internal/schema"
 	"repro/internal/sqlengine"
 	"repro/internal/textutil"
@@ -98,7 +100,8 @@ func ConfigDeepSeek() Config {
 }
 
 // Pipeline generates evidence for questions against one corpus. It is
-// safe for concurrent use after construction.
+// safe for concurrent use after construction: GenerateEvidence runs its
+// stages as a concurrent DAG, and many callers may generate at once.
 type Pipeline struct {
 	cfg      Config
 	client   llm.Client
@@ -110,6 +113,15 @@ type Pipeline struct {
 
 	valueMu    sync.RWMutex
 	valueCache map[string][]string // "db\x00table\x00col" -> distinct values
+
+	// The evidence stage graph (see buildGraph in graph.go) and the
+	// per-stage memos behind its warm partial hits.
+	graph  *pipeline.Graph
+	genRef pipeline.Ref[string]
+
+	kwMemo   *pipeline.Memo // extract_keywords, keyed by question
+	sumMemo  *pipeline.Memo // summarize_schema, keyed by (db, question stems)
+	shotMemo *pipeline.Memo // select_few_shots, keyed by (db, question)
 }
 
 // New builds a pipeline over a corpus. Train-split questions are embedded
@@ -122,6 +134,9 @@ func New(cfg Config, client llm.Client, corpus *dataset.Corpus) *Pipeline {
 		embedder:   embed.NewModel(),
 		trainByDB:  make(map[string][]int),
 		valueCache: make(map[string][]string),
+		kwMemo:     pipeline.NewMemo(4096, 16),
+		sumMemo:    pipeline.NewMemo(2048, 16),
+		shotMemo:   pipeline.NewMemo(4096, 16),
 	}
 	p.trainVecs = make([]embed.Vector, len(corpus.Train))
 	for i, ex := range corpus.Train {
@@ -139,6 +154,7 @@ func New(cfg Config, client llm.Client, corpus *dataset.Corpus) *Pipeline {
 			}
 		}
 	}
+	p.buildGraph()
 	return p
 }
 
@@ -148,35 +164,15 @@ func (p *Pipeline) Config() Config { return p.cfg }
 // GenerateEvidence runs the full SEED pipeline for one question. It uses
 // only public database information (schema, description files, values) and
 // the training split — never the example's gold SQL or gold evidence.
+//
+// The stages execute as a concurrent DAG (sample execution and few-shot
+// selection in parallel after keyword extraction, schema summarization
+// overlapping both) with per-stage memoization; output is byte-identical
+// to GenerateEvidenceSequential. Callers that want the per-stage
+// provenance trace should use GenerateEvidenceTraced.
 func (p *Pipeline) GenerateEvidence(dbName, question string) (string, error) {
-	db, ok := p.corpus.DB(dbName)
-	if !ok {
-		return "", fmt.Errorf("seed: unknown database %q", dbName)
-	}
-
-	keywords, err := p.ExtractKeywords(question)
-	if err != nil {
-		return "", fmt.Errorf("seed: keyword extraction: %w", err)
-	}
-
-	samples := p.SampleExecution(db, keywords)
-
-	visible := p.visibleTables(db, question)
-	if p.cfg.Summarize {
-		visible, err = p.SummarizeSchema(db, question, visible)
-		if err != nil {
-			return "", fmt.Errorf("seed: schema summarization: %w", err)
-		}
-	}
-
-	shots := p.SelectFewShots(question, dbName)
-	if p.cfg.Summarize {
-		// The deepseek variant's second summarization pass: compress the
-		// exemplars to evidence-bearing lines only.
-		shots = summarizeShots(shots)
-	}
-
-	return p.generate(db, question, visible, samples, shots)
+	ev, _, err := p.GenerateEvidenceTraced(context.Background(), dbName, question)
+	return ev, err
 }
 
 // visibleTables returns the full table list (no summarization): every

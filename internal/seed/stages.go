@@ -15,6 +15,13 @@ import (
 // column-like and value-like keywords: content words plus multi-word
 // phrases. Weaker models drop keywords occasionally.
 func (p *Pipeline) ExtractKeywords(question string) ([]string, error) {
+	kws, _, err := p.extractKeywords(question)
+	return kws, err
+}
+
+// extractKeywords is ExtractKeywords plus the request's token spend, for
+// stage traces.
+func (p *Pipeline) extractKeywords(question string) ([]string, int, error) {
 	prompt := "Extract the keywords naming database columns and values from the question.\nQuestion: " + question
 	resp, err := p.client.Complete(llm.Request{
 		Model:  p.cfg.SampleModel,
@@ -63,7 +70,7 @@ func (p *Pipeline) ExtractKeywords(question string) ([]string, error) {
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var out []string
 	for _, line := range strings.Split(resp.Text, "\n") {
@@ -71,7 +78,7 @@ func (p *Pipeline) ExtractKeywords(question string) ([]string, error) {
 			out = append(out, line)
 		}
 	}
-	return out, nil
+	return out, resp.PromptTokens + resp.CompletionTokens, nil
 }
 
 // --- Stage 2: sample SQL execution (paper §III-B) ---
@@ -170,13 +177,20 @@ func matchScore(kw, v string) float64 {
 // borderline-relevant table, and anything dropped is genuinely invisible
 // to the downstream generation stage.
 func (p *Pipeline) SummarizeSchema(db *schema.DB, question string, visible []tableView) ([]tableView, error) {
+	kept, _, err := p.summarizeSchema(db, question, visible)
+	return kept, err
+}
+
+// summarizeSchema is SummarizeSchema plus the request's token spend, for
+// stage traces.
+func (p *Pipeline) summarizeSchema(db *schema.DB, question string, visible []tableView) ([]tableView, int, error) {
 	prompt := "Remove schema information irrelevant to the question.\nSchema: " + db.DDL() + "\nQuestion: " + question
 	type scored struct {
 		tv    tableView
 		score float64
 	}
 	var result []tableView
-	_, err := p.client.Complete(llm.Request{
+	resp, err := p.client.Complete(llm.Request{
 		Model:  p.cfg.GenerateModel,
 		Prompt: prompt,
 		Policy: llm.TruncateHead,
@@ -210,7 +224,7 @@ func (p *Pipeline) SummarizeSchema(db *schema.DB, question string, visible []tab
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Restore schema order for deterministic downstream iteration.
 	orderOf := make(map[string]int)
@@ -220,7 +234,7 @@ func (p *Pipeline) SummarizeSchema(db *schema.DB, question string, visible []tab
 	sort.SliceStable(result, func(i, j int) bool {
 		return orderOf[result[i].Table.Name] < orderOf[result[j].Table.Name]
 	})
-	return result, nil
+	return result, resp.PromptTokens + resp.CompletionTokens, nil
 }
 
 // relevanceScore measures question-table affinity over table name, column

@@ -42,7 +42,7 @@ type batchItem struct {
 }
 
 type batchResult struct {
-	evidence string
+	evidence evserve.Evidence
 	err      error
 }
 
@@ -50,14 +50,15 @@ func newBatcher(svc *evserve.Service, window time.Duration, maxSize int) *batche
 	return &batcher{svc: svc, window: window, maxSize: maxSize}
 }
 
-// Generate produces evidence for one request, possibly sharing a batch
-// with concurrent callers. Cancelling ctx abandons the wait immediately;
-// the batch itself keeps running for the other participants, and the
-// abandoned result is delivered into a buffered channel and dropped.
-func (b *batcher) Generate(ctx context.Context, db, question string) (string, error) {
+// Generate produces evidence (with its provenance trace) for one request,
+// possibly sharing a batch with concurrent callers. Cancelling ctx
+// abandons the wait immediately; the batch itself keeps running for the
+// other participants, and the abandoned result is delivered into a
+// buffered channel and dropped.
+func (b *batcher) Generate(ctx context.Context, db, question string) (evserve.Evidence, error) {
 	if b.window <= 0 || b.maxSize <= 1 {
 		b.singles.Add(1)
-		return b.svc.Generate(ctx, db, question)
+		return b.svc.GenerateTraced(ctx, db, question)
 	}
 	item := batchItem{
 		req: evserve.Request{DB: db, Question: question},
@@ -80,7 +81,7 @@ func (b *batcher) Generate(ctx context.Context, db, question string) (string, er
 	case r := <-item.out:
 		return r.evidence, r.err
 	case <-ctx.Done():
-		return "", ctx.Err()
+		return evserve.Evidence{}, ctx.Err()
 	}
 }
 
@@ -135,7 +136,14 @@ func (b *batcher) run(items []batchItem) {
 	b.batches.Add(1)
 	b.batched.Add(int64(len(items)))
 	for i := range items {
-		items[i].out <- batchResult{evidence: results[i].Evidence, err: results[i].Err}
+		items[i].out <- batchResult{
+			evidence: evserve.Evidence{
+				Text:     results[i].Evidence,
+				Trace:    results[i].Trace,
+				CacheHit: results[i].CacheHit,
+			},
+			err: results[i].Err,
+		}
 	}
 }
 
@@ -154,6 +162,14 @@ type BatcherStats struct {
 	SizeFlushes int64 `json:"size_flushes"`
 	// WindowFlushes counts batches dispatched by the window timer.
 	WindowFlushes int64 `json:"window_flushes"`
+	// MaxSize echoes the configured size-flush threshold (0 when
+	// batching is disabled).
+	MaxSize int `json:"max_size"`
+	// MeanOccupancy is AvgFill / MaxSize: how full the average dispatched
+	// batch was relative to capacity. Near 1.0 means size flushes
+	// dominate (the batcher is saturated); near 0 means the window timer
+	// is sweeping up near-empty batches.
+	MeanOccupancy float64 `json:"mean_occupancy"`
 }
 
 func (b *batcher) stats() BatcherStats {
@@ -164,8 +180,14 @@ func (b *batcher) stats() BatcherStats {
 		SizeFlushes:     b.sizeFlushes.Load(),
 		WindowFlushes:   b.windowFlushes.Load(),
 	}
+	if b.window > 0 && b.maxSize > 1 {
+		st.MaxSize = b.maxSize
+	}
 	if st.Batches > 0 {
 		st.AvgFill = float64(st.BatchedRequests) / float64(st.Batches)
+	}
+	if st.MaxSize > 0 {
+		st.MeanOccupancy = st.AvgFill / float64(st.MaxSize)
 	}
 	return st
 }

@@ -39,8 +39,8 @@ func TestBatcherSingleRequestFastPath(t *testing.T) {
 		newEchoBatcher(t, time.Millisecond, 1, &calls), // maxSize disables
 	} {
 		ev, err := b.Generate(context.Background(), "db", "q")
-		if err != nil || ev != "db/q" {
-			t.Fatalf("Generate = %q, %v", ev, err)
+		if err != nil || ev.Text != "db/q" {
+			t.Fatalf("Generate = %q, %v", ev.Text, err)
 		}
 		st := b.stats()
 		if st.Singles != 1 || st.Batches != 0 || st.BatchedRequests != 0 {
@@ -62,7 +62,8 @@ func TestBatcherWindowFlush(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			evs[i], errs[i] = b.Generate(context.Background(), "db", fmt.Sprintf("q%d", i))
+			ev, err := b.Generate(context.Background(), "db", fmt.Sprintf("q%d", i))
+			evs[i], errs[i] = ev.Text, err
 		}(i)
 	}
 	wg.Wait()
@@ -165,7 +166,7 @@ func TestBatcherFlushDrainsPending(t *testing.T) {
 	got := make(chan string, 1)
 	go func() {
 		ev, _ := b.Generate(context.Background(), "db", "q")
-		got <- ev
+		got <- ev.Text
 	}()
 	for i := 0; i < 100 && func() bool { b.mu.Lock(); defer b.mu.Unlock(); return len(b.pending) == 0 }(); i++ {
 		time.Sleep(time.Millisecond)

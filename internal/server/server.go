@@ -36,6 +36,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/evserve"
 	"repro/internal/llm"
+	"repro/internal/pipeline"
 	"repro/internal/seed"
 	"repro/internal/sqlengine"
 	"repro/internal/texttosql"
@@ -160,10 +161,10 @@ func New(cfg Config) (*Server, error) {
 			variant += "_spider"
 		}
 		svc := evserve.New(evserve.Options{
-			Variant:       variant,
-			Generate:      p.GenerateEvidence,
-			Workers:       cfg.EvidenceWorkers,
-			CacheCapacity: cfg.EvidenceCache,
+			Variant:        variant,
+			GenerateTraced: p.GenerateEvidenceTraced,
+			Workers:        cfg.EvidenceWorkers,
+			CacheCapacity:  cfg.EvidenceCache,
 		})
 		s.services[corpus.Name] = svc
 		s.batchers[corpus.Name] = newBatcher(svc, cfg.BatchWindow, cfg.BatchMax)
@@ -256,6 +257,14 @@ type QueryResponse struct {
 	Question  string `json:"question"`
 	// Evidence is the SEED-generated evidence the generator consumed.
 	Evidence string `json:"evidence"`
+	// EvidenceTrace is the stage-graph provenance of the evidence: one
+	// entry per pipeline stage with memo-hit flag, wall time and token
+	// spend. On an evidence-cache hit it describes the original
+	// generation.
+	EvidenceTrace *pipeline.Trace `json:"evidence_trace,omitempty"`
+	// EvidenceCacheHit reports the evidence came from the evidence cache
+	// rather than a fresh pipeline run.
+	EvidenceCacheHit bool `json:"evidence_cache_hit"`
 	// SQL is the generated query.
 	SQL string `json:"sql"`
 	// Columns and Rows are the execution result; NULLs are JSON nulls.
@@ -276,7 +285,11 @@ type EvidenceResponse struct {
 	Question string `json:"question"`
 	Variant  string `json:"variant"`
 	Evidence string `json:"evidence"`
-	Micros   int64  `json:"duration_us"`
+	// Trace is the stage-graph provenance of the evidence (see
+	// QueryResponse.EvidenceTrace).
+	Trace    *pipeline.Trace `json:"evidence_trace,omitempty"`
+	CacheHit bool            `json:"evidence_cache_hit"`
+	Micros   int64           `json:"duration_us"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -306,7 +319,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	genStart := time.Now()
-	sql, err := sess.Gen.Generate(texttosql.Task{Example: e, DB: sess.DB, Evidence: ev})
+	sql, err := sess.Gen.Generate(texttosql.Task{Example: e, DB: sess.DB, Evidence: ev.Text})
 	genDur := time.Since(genStart)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("generation failed: %v", err))
@@ -329,12 +342,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := QueryResponse{
-		DB:        e.DB,
-		ExampleID: e.ID,
-		Question:  e.Question,
-		Evidence:  ev,
-		SQL:       sql,
-		Cost:      res.Cost,
+		DB:               e.DB,
+		ExampleID:        e.ID,
+		Question:         e.Question,
+		Evidence:         ev.Text,
+		EvidenceTrace:    ev.Trace,
+		EvidenceCacheHit: ev.CacheHit,
+		SQL:              sql,
+		Cost:             res.Cost,
 		Timing: QueryTiming{
 			EvidenceMicros: evDur.Microseconds(),
 			GenerateMicros: genDur.Microseconds(),
@@ -406,7 +421,9 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		DB:       req.DB,
 		Question: question,
 		Variant:  s.services[sess.Corpus].Stats().Variant,
-		Evidence: ev,
+		Evidence: ev.Text,
+		Trace:    ev.Trace,
+		CacheHit: ev.CacheHit,
 		Micros:   time.Since(start).Microseconds(),
 	})
 }
@@ -513,6 +530,9 @@ type EvidenceSnapshot struct {
 	Dedups       int64   `json:"dedups"`
 	Generations  int64   `json:"generations"`
 	Failures     int64   `json:"failures"`
+	// Stages aggregates per-stage pipeline cost across every traced
+	// generation: runs, memo hits, wall time and tokens per DAG stage.
+	Stages []pipeline.StageAgg `json:"stages,omitempty"`
 }
 
 // Metrics snapshots every counter the server exports.
@@ -541,6 +561,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			Dedups:      st.Dedups,
 			Generations: st.Generations,
 			Failures:    st.Failures,
+			Stages:      st.Stages,
 		}
 		if probes := st.Cache.Hits + st.Cache.Misses; probes > 0 {
 			es.CacheHitRate = float64(st.Cache.Hits) / float64(probes)

@@ -471,3 +471,160 @@ func TestServerCloseIdempotentAndRejectsAfter(t *testing.T) {
 		t.Errorf("evidence after Close = %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestQueryExposesEvidenceTrace: /v1/query and /v1/evidence responses
+// carry the stage-graph provenance trace; a repeat question is flagged as
+// an evidence-cache hit while keeping the original generation's trace.
+func TestQueryExposesEvidenceTrace(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	ex := testCorpus(t).Dev[0]
+	body := QueryRequest{DB: ex.DB, Question: ex.Question}
+
+	resp, data := postJSON(t, ts.URL+"/v1/query", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("query = %d: %s", resp.StatusCode, data)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(data, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.EvidenceTrace == nil {
+		t.Fatal("query response has no evidence_trace")
+	}
+	stages := make(map[string]bool)
+	for _, st := range qr.EvidenceTrace.Stages {
+		stages[st.Stage] = true
+	}
+	for _, want := range []string{seed.StageKeywords, seed.StageSamples, seed.StageSchema, seed.StageShots, seed.StageGenerate} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %s: %+v", want, qr.EvidenceTrace.Stages)
+		}
+	}
+	if qr.EvidenceTrace.Stage(seed.StageGenerate).Tokens == 0 {
+		t.Error("generate stage reports no tokens")
+	}
+
+	// Repeat: the evidence cache answers, but the trace survives.
+	resp, data = postJSON(t, ts.URL+"/v1/query", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("repeat query = %d", resp.StatusCode)
+	}
+	var warm QueryResponse
+	if err := json.Unmarshal(data, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.EvidenceCacheHit {
+		t.Error("repeat query not flagged evidence_cache_hit")
+	}
+	if warm.EvidenceTrace == nil || len(warm.EvidenceTrace.Stages) == 0 {
+		t.Error("cache hit lost the evidence trace")
+	}
+
+	// /v1/evidence carries the same provenance.
+	resp, data = postJSON(t, ts.URL+"/v1/evidence", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("evidence = %d", resp.StatusCode)
+	}
+	var er EvidenceResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Trace == nil || !er.CacheHit {
+		t.Errorf("/v1/evidence trace=%v cacheHit=%v, want preserved trace and cache hit", er.Trace != nil, er.CacheHit)
+	}
+}
+
+// TestMetricsExposeStagesAndBatcherOccupancy: /metrics surfaces the
+// per-stage latency aggregation next to the micro-batcher's flush split
+// and mean occupancy.
+func TestMetricsExposeStagesAndBatcherOccupancy(t *testing.T) {
+	srv, ts := newTestServer(t, nil)
+	// Drive a few concurrent queries through the batcher.
+	exs := testCorpus(t).Dev
+	if len(exs) > 8 {
+		exs = exs[:8]
+	}
+	var wg sync.WaitGroup
+	for _, ex := range exs {
+		wg.Add(1)
+		go func(ex dataset.Example) {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: ex.DB, Question: ex.Question})
+			if resp.StatusCode != 200 {
+				t.Errorf("query %s = %d: %s", ex.ID, resp.StatusCode, data)
+			}
+		}(ex)
+	}
+	wg.Wait()
+
+	snap := srv.Metrics()
+	ev, ok := snap.Evidence["bird"]
+	if !ok {
+		t.Fatal("no bird evidence snapshot")
+	}
+	if len(ev.Stages) == 0 {
+		t.Fatal("/metrics evidence snapshot has no per-stage aggregation")
+	}
+	var sawGenerate bool
+	for _, sa := range ev.Stages {
+		if sa.Count <= 0 {
+			t.Errorf("stage %s count = %d", sa.Stage, sa.Count)
+		}
+		if sa.Stage == seed.StageGenerate {
+			sawGenerate = true
+			if sa.Tokens == 0 {
+				t.Error("generate stage aggregated no tokens")
+			}
+		}
+	}
+	if !sawGenerate {
+		t.Errorf("stages missing generate: %+v", ev.Stages)
+	}
+
+	b, ok := snap.Batcher["bird"]
+	if !ok {
+		t.Fatal("no bird batcher snapshot")
+	}
+	if b.MaxSize != 16 {
+		t.Errorf("batcher max_size = %d, want 16", b.MaxSize)
+	}
+	if b.Batches > 0 {
+		if b.MeanOccupancy <= 0 || b.MeanOccupancy > 1 {
+			t.Errorf("mean occupancy = %.3f, want in (0, 1]", b.MeanOccupancy)
+		}
+		if got := b.AvgFill / float64(b.MaxSize); !floatsClose(got, b.MeanOccupancy) {
+			t.Errorf("mean occupancy %.3f != avg_fill/max_size %.3f", b.MeanOccupancy, got)
+		}
+	}
+	if b.Batches != b.SizeFlushes+b.WindowFlushes {
+		t.Errorf("batches %d != size %d + window %d flushes", b.Batches, b.SizeFlushes, b.WindowFlushes)
+	}
+
+	// The JSON body carries the same fields.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"evidence", "batcher"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("/metrics body missing %q", key)
+		}
+	}
+	var evRaw map[string]EvidenceSnapshot
+	if err := json.Unmarshal(raw["evidence"], &evRaw); err != nil {
+		t.Fatal(err)
+	}
+	if len(evRaw["bird"].Stages) == 0 {
+		t.Error("/metrics JSON lost the stage aggregation")
+	}
+}
+
+func floatsClose(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

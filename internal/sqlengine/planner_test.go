@@ -312,10 +312,10 @@ func TestResolveHashJoinClassification(t *testing.T) {
 		{"t.grp = g.grp", true, 1, 0},
 		{"g.grp = t.grp", true, 1, 0},
 		{"t.grp = g.grp AND t.id > g.weight", true, 1, 1},
-		{"t.id > g.weight", false, 0, 0},                  // no equi
-		{"t.id = t.id", false, 0, 0},                      // same-side only
+		{"t.id > g.weight", false, 0, 0},                      // no equi
+		{"t.id = t.id", false, 0, 0},                          // same-side only
 		{"t.grp = g.grp AND t.id = missing_col", false, 0, 0}, // unresolvable ref
-		{"grp = g.weight", false, 0, 0},                   // ambiguous "grp"... resolves twice
+		{"grp = g.weight", false, 0, 0},                       // ambiguous "grp"... resolves twice
 	}
 	_ = db
 	for _, tc := range cases {
@@ -352,15 +352,15 @@ func TestExprSafeTotal(t *testing.T) {
 		"STRFTIME('%Y', d) = '1999'", "-a = 1", "NOT (a = 1)",
 	}
 	unsafe := []string{
-		"x IN (SELECT a FROM t)",        // subquery charges cost
-		"EXISTS (SELECT 1 FROM t)",      // subquery
-		"(SELECT MAX(a) FROM t) = x",    // scalar subquery
-		"COUNT(a) > 1",                  // aggregate misuse errors
-		"MAX(a) = 1",                    // single-arg MAX is the aggregate
-		"NOSUCHFUNC(a) = 1",             // unknown function errors
-		"SUBSTR(x) = 'a'",               // bad arity errors
-		"STRFTIME('%H', d) = '12'",      // unsupported format errors
-		"STRFTIME(fmt, d) = '1999'",     // non-literal format
+		"x IN (SELECT a FROM t)",     // subquery charges cost
+		"EXISTS (SELECT 1 FROM t)",   // subquery
+		"(SELECT MAX(a) FROM t) = x", // scalar subquery
+		"COUNT(a) > 1",               // aggregate misuse errors
+		"MAX(a) = 1",                 // single-arg MAX is the aggregate
+		"NOSUCHFUNC(a) = 1",          // unknown function errors
+		"SUBSTR(x) = 'a'",            // bad arity errors
+		"STRFTIME('%H', d) = '12'",   // unsupported format errors
+		"STRFTIME(fmt, d) = '1999'",  // non-literal format
 	}
 	for _, s := range safe {
 		e := mustParseExpr(t, s)
