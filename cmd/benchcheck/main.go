@@ -1,0 +1,242 @@
+// Command benchcheck is the CI perf-regression gate: it compares freshly
+// generated benchmark snapshots (BENCH_sqlengine.json, BENCH_pipeline.json,
+// BENCH_server.json, BENCH_store.json) against the baselines committed in
+// the repository and fails when a pinned ratio regressed past the
+// threshold.
+//
+// Usage:
+//
+//	benchcheck -threshold 0.30 -report bench-diff.json \
+//	    BENCH_sqlengine.json=fresh-sqlengine.json \
+//	    BENCH_store.json=fresh-store.json
+//
+// Each positional argument is a baseline=current pair. The gate walks
+// both JSON documents and compares every numeric leaf whose dotted path
+// contains "speedup" or "recovery" — the ratios each snapshot publishes
+// as its pinned wins. A metric fails when current/baseline drops below
+// 1-threshold; metrics missing from the current snapshot fail outright
+// (a deleted headline number is a regression, not an oversight);
+// improvements always pass.
+//
+// Saturated ratios — both baseline and current above 50x — always pass:
+// at three orders of magnitude (a warm cache lookup versus a cold LLM
+// round trip) run-to-run jitter dwarfs any 30% band, while a real break
+// collapses the ratio toward 1 and still trips the gate.
+//
+// The -report file records every comparison (baseline, current, ratio,
+// verdict) so CI can upload the diff as an artifact on failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// saturationFloor is the ratio above which a metric is compared only for
+// collapse, not for percentage drift; collapseFactor is how far a
+// saturated metric may fall relative to its baseline before the gate
+// fails anyway. Without the collapse check, a 10000x baseline falling to
+// 65x would pass simply because both sides clear the floor.
+const (
+	saturationFloor = 50.0
+	collapseFactor  = 3.0
+)
+
+// verdicts a compared metric can receive.
+const (
+	verdictOK         = "ok"
+	verdictImproved   = "improved"
+	verdictSaturated  = "saturated"
+	verdictRegression = "regression"
+	verdictMissing    = "missing_in_current"
+	verdictNew        = "new_in_current"
+)
+
+// comparison is one metric's entry in the diff report.
+type comparison struct {
+	File     string  `json:"file"`
+	Metric   string  `json:"metric"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Ratio is current/baseline; 0 when either side is missing.
+	Ratio   float64 `json:"ratio"`
+	Verdict string  `json:"verdict"`
+}
+
+// diffReport is the -report JSON schema.
+type diffReport struct {
+	Threshold   float64      `json:"threshold"`
+	Comparisons []comparison `json:"comparisons"`
+	Regressions int          `json:"regressions"`
+	Passed      bool         `json:"passed"`
+}
+
+// gatedMetrics walks a decoded JSON document and collects every numeric
+// leaf whose dotted path contains "speedup" or "recovery".
+func gatedMetrics(doc any) map[string]float64 {
+	out := make(map[string]float64)
+	var walk func(path string, v any)
+	walk = func(path string, v any) {
+		switch node := v.(type) {
+		case map[string]any:
+			for k, child := range node {
+				p := k
+				if path != "" {
+					p = path + "." + k
+				}
+				walk(p, child)
+			}
+		case []any:
+			for i, child := range node {
+				walk(fmt.Sprintf("%s[%d]", path, i), child)
+			}
+		case float64:
+			lower := strings.ToLower(path)
+			if strings.Contains(lower, "speedup") || strings.Contains(lower, "recovery") {
+				out[path] = node
+			}
+		}
+	}
+	walk("", doc)
+	return out
+}
+
+// loadMetrics reads one snapshot file and extracts its gated metrics.
+func loadMetrics(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return gatedMetrics(doc), nil
+}
+
+// comparePair gates one baseline=current snapshot pair.
+func comparePair(baselinePath, currentPath string, threshold float64) ([]comparison, error) {
+	base, err := loadMetrics(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	if len(base) == 0 {
+		// A baseline with nothing to gate means the gate passes vacuously
+		// forever — a schema change renamed the speedup/recovery keys and
+		// nobody noticed. Fail loudly instead.
+		return nil, fmt.Errorf("%s exposes no gated metrics (no numeric field whose path contains \"speedup\" or \"recovery\")", baselinePath)
+	}
+	cur, err := loadMetrics(currentPath)
+	if err != nil {
+		return nil, err
+	}
+	var comps []comparison
+	for metric, b := range base {
+		c, ok := cur[metric]
+		comp := comparison{File: baselinePath, Metric: metric, Baseline: b, Current: c}
+		switch {
+		case !ok:
+			comp.Verdict = verdictMissing
+		case b <= 0:
+			// A non-positive baseline carries no regression signal.
+			comp.Verdict = verdictOK
+		default:
+			comp.Ratio = c / b
+			switch {
+			case b > saturationFloor && c > saturationFloor:
+				// Deep in orders-of-magnitude territory run-to-run jitter
+				// dwarfs the percentage band — but a collapse relative to
+				// baseline is still a regression, even if the wreckage
+				// clears the absolute floor.
+				if comp.Ratio < 1/collapseFactor {
+					comp.Verdict = verdictRegression
+				} else {
+					comp.Verdict = verdictSaturated
+				}
+			case comp.Ratio < 1-threshold:
+				comp.Verdict = verdictRegression
+			case comp.Ratio > 1:
+				comp.Verdict = verdictImproved
+			default:
+				comp.Verdict = verdictOK
+			}
+		}
+		comps = append(comps, comp)
+	}
+	for metric, c := range cur {
+		if _, ok := base[metric]; !ok {
+			// Informational: a new metric is not gated until its baseline
+			// is committed.
+			comps = append(comps, comparison{
+				File: baselinePath, Metric: metric, Current: c, Verdict: verdictNew,
+			})
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Metric < comps[j].Metric })
+	return comps, nil
+}
+
+// run executes the whole gate; split from main for testability.
+func run(pairs []string, threshold float64, reportPath string) (*diffReport, error) {
+	report := &diffReport{Threshold: threshold, Comparisons: []comparison{}}
+	for _, pair := range pairs {
+		baselinePath, currentPath, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("argument %q is not a baseline=current pair", pair)
+		}
+		comps, err := comparePair(baselinePath, currentPath, threshold)
+		if err != nil {
+			return nil, err
+		}
+		report.Comparisons = append(report.Comparisons, comps...)
+	}
+	for _, c := range report.Comparisons {
+		if c.Verdict == verdictRegression || c.Verdict == verdictMissing {
+			report.Regressions++
+		}
+	}
+	report.Passed = report.Regressions == 0
+	if reportPath != "" {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(reportPath, out, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.30, "maximum tolerated fractional regression (0.30 = current may be up to 30% below baseline)")
+	reportPath := flag.String("report", "", "write the full comparison diff to this JSON file (CI uploads it as an artifact)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck [-threshold 0.30] [-report diff.json] baseline.json=current.json ...")
+		os.Exit(2)
+	}
+	report, err := run(flag.Args(), *threshold, *reportPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	for _, c := range report.Comparisons {
+		mark := " "
+		if c.Verdict == verdictRegression || c.Verdict == verdictMissing {
+			mark = "✗"
+		}
+		fmt.Printf("%s %-60s %12.3f -> %12.3f  (%.2fx)  %s\n",
+			mark, c.File+":"+c.Metric, c.Baseline, c.Current, c.Ratio, c.Verdict)
+	}
+	if !report.Passed {
+		fmt.Printf("benchcheck: %d regression(s) beyond the %.0f%% threshold\n", report.Regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d metric(s) within the %.0f%% threshold\n", len(report.Comparisons), *threshold*100)
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSnap writes a snapshot fixture and returns its path.
+func writeSnap(t *testing.T, name string, doc any) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// verdictOf finds one metric's verdict in a report.
+func verdictOf(t *testing.T, r *diffReport, metric string) string {
+	t.Helper()
+	for _, c := range r.Comparisons {
+		if c.Metric == metric {
+			return c.Verdict
+		}
+	}
+	t.Fatalf("metric %q not in report: %+v", metric, r.Comparisons)
+	return ""
+}
+
+func TestGatedMetricsSelection(t *testing.T) {
+	doc := map[string]any{
+		"generated_at": "2026-01-01T00:00:00Z", // non-numeric: ignored
+		"num_cpu":      4.0,                    // numeric but ungated
+		"speedups": map[string]any{
+			"join3_hash_vs_nested": 32.5,
+		},
+		"speedup_batched_vs_pipeline_serial": 8.8,
+		"recovery_hit_ratio":                 1.0,
+		"variants": map[string]any{
+			"seed_gpt": map[string]any{"speedup": 0.98, "dag_us": 583346.0},
+		},
+		"warm_vs_steady_wall_ratio": 1.2, // deliberately ungated (noise)
+	}
+	got := gatedMetrics(doc)
+	want := []string{
+		"speedups.join3_hash_vs_nested",
+		"speedup_batched_vs_pipeline_serial",
+		"recovery_hit_ratio",
+		"variants.seed_gpt.speedup",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("gated %d metrics %v, want %d", len(got), got, len(want))
+	}
+	for _, k := range want {
+		if _, ok := got[k]; !ok {
+			t.Errorf("metric %q not gated; got %v", k, got)
+		}
+	}
+}
+
+func TestRegressionBeyondThresholdFails(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"speedups": map[string]any{"x": 10.0}})
+	cur := writeSnap(t, "cur.json", map[string]any{"speedups": map[string]any{"x": 6.0}})
+	r, err := run([]string{base + "=" + cur}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Passed || r.Regressions != 1 {
+		t.Fatalf("40%% drop passed the 30%% gate: %+v", r)
+	}
+	if v := verdictOf(t, r, "speedups.x"); v != verdictRegression {
+		t.Fatalf("verdict = %s, want regression", v)
+	}
+}
+
+func TestDriftWithinThresholdPasses(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"speedups": map[string]any{"x": 10.0}})
+	cur := writeSnap(t, "cur.json", map[string]any{"speedups": map[string]any{"x": 8.0}})
+	r, err := run([]string{base + "=" + cur}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed {
+		t.Fatalf("20%% drift failed the 30%% gate: %+v", r)
+	}
+}
+
+func TestImprovementPasses(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"recovery_hit_ratio": 0.96})
+	cur := writeSnap(t, "cur.json", map[string]any{"recovery_hit_ratio": 1.0})
+	r, err := run([]string{base + "=" + cur}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed {
+		t.Fatalf("improvement failed the gate: %+v", r)
+	}
+	if v := verdictOf(t, r, "recovery_hit_ratio"); v != verdictImproved {
+		t.Fatalf("verdict = %s, want improved", v)
+	}
+}
+
+// TestSaturatedRatiosPassOnJitterFailOnCollapse pins the saturation rule:
+// a 7000x-vs-3000x swing between two warm-vs-cold ratios is jitter, but a
+// collapse to ~1x (the restart stopped restoring) must still fail.
+func TestSaturatedRatiosPassOnJitterFailOnCollapse(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"speedups": map[string]any{"warm_restart_vs_cold": 7421.0}})
+	jitter := writeSnap(t, "jitter.json", map[string]any{"speedups": map[string]any{"warm_restart_vs_cold": 3000.0}})
+	collapse := writeSnap(t, "collapse.json", map[string]any{"speedups": map[string]any{"warm_restart_vs_cold": 1.05}})
+
+	r, err := run([]string{base + "=" + jitter}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed {
+		t.Fatalf("saturated jitter failed the gate: %+v", r)
+	}
+	if v := verdictOf(t, r, "speedups.warm_restart_vs_cold"); v != verdictSaturated {
+		t.Fatalf("verdict = %s, want saturated", v)
+	}
+
+	r, err = run([]string{base + "=" + collapse}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Passed {
+		t.Fatalf("ratio collapse passed the gate: %+v", r)
+	}
+
+	// A collapse that still clears the absolute floor (7421x -> 65x) is a
+	// regression too — saturation tolerates jitter, not wreckage.
+	aboveFloor := writeSnap(t, "above-floor.json", map[string]any{"speedups": map[string]any{"warm_restart_vs_cold": 65.0}})
+	r, err = run([]string{base + "=" + aboveFloor}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Passed {
+		t.Fatalf("collapse above the saturation floor passed the gate: %+v", r)
+	}
+	if v := verdictOf(t, r, "speedups.warm_restart_vs_cold"); v != verdictRegression {
+		t.Fatalf("verdict = %s, want regression", v)
+	}
+}
+
+func TestMissingMetricFails(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"speedups": map[string]any{"x": 10.0, "y": 5.0}})
+	cur := writeSnap(t, "cur.json", map[string]any{"speedups": map[string]any{"x": 10.0}})
+	r, err := run([]string{base + "=" + cur}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Passed {
+		t.Fatalf("deleted metric passed the gate: %+v", r)
+	}
+	if v := verdictOf(t, r, "speedups.y"); v != verdictMissing {
+		t.Fatalf("verdict = %s, want missing", v)
+	}
+}
+
+func TestNewMetricIsInformationalOnly(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"speedups": map[string]any{"x": 10.0}})
+	cur := writeSnap(t, "cur.json", map[string]any{"speedups": map[string]any{"x": 10.0, "z": 2.0}})
+	r, err := run([]string{base + "=" + cur}, 0.30, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Passed {
+		t.Fatalf("new metric failed the gate before its baseline exists: %+v", r)
+	}
+	if v := verdictOf(t, r, "speedups.z"); v != verdictNew {
+		t.Fatalf("verdict = %s, want new", v)
+	}
+}
+
+func TestReportArtifactWritten(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"speedups": map[string]any{"x": 10.0}})
+	cur := writeSnap(t, "cur.json", map[string]any{"speedups": map[string]any{"x": 2.0}})
+	reportPath := filepath.Join(t.TempDir(), "diff.json")
+	if _, err := run([]string{base + "=" + cur}, 0.30, reportPath); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r diffReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Passed || r.Regressions != 1 || len(r.Comparisons) != 1 {
+		t.Fatalf("artifact content wrong: %+v", r)
+	}
+}
+
+func TestMalformedPairRejected(t *testing.T) {
+	if _, err := run([]string{"no-equals-sign"}, 0.30, ""); err == nil {
+		t.Fatal("malformed pair accepted")
+	}
+}
+
+// TestVacuousBaselineRejected: a baseline exposing zero gated metrics is
+// an error, not a pass — otherwise a snapshot schema rename silently
+// disables the whole gate.
+func TestVacuousBaselineRejected(t *testing.T) {
+	base := writeSnap(t, "base.json", map[string]any{"ratios": map[string]any{"x": 10.0}})
+	cur := writeSnap(t, "cur.json", map[string]any{"ratios": map[string]any{"x": 1.0}})
+	if _, err := run([]string{base + "=" + cur}, 0.30, ""); err == nil {
+		t.Fatal("baseline with no gated metrics accepted — the gate would pass vacuously")
+	}
+}
+
+// TestCommittedBaselinesSelfCompare: every committed BENCH file gates
+// cleanly against itself — guards against a snapshot schema change that
+// silently empties the gated metric set.
+func TestCommittedBaselinesSelfCompare(t *testing.T) {
+	for _, name := range []string{"BENCH_sqlengine.json", "BENCH_pipeline.json", "BENCH_server.json", "BENCH_store.json"} {
+		path := filepath.Join("..", "..", name)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("committed baseline %s missing: %v", name, err)
+		}
+		r, err := run([]string{path + "=" + path}, 0.30, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Passed {
+			t.Fatalf("%s fails against itself: %+v", name, r)
+		}
+		if len(r.Comparisons) == 0 {
+			t.Fatalf("%s exposes no gated metrics — the gate would pass vacuously", name)
+		}
+	}
+}

@@ -41,23 +41,34 @@ type engineBenchResult struct {
 	Ops     int     `json:"ops"`
 }
 
-// measure times fn repeatedly for at least minDur (and at least 5 ops) and
-// returns the mean ns/op.
+// measureRounds is how many independent timing windows each benchmark
+// runs; the fastest round wins. The minimum is the noise-robust
+// estimator — scheduler contention and GC only ever add time — and these
+// ratios feed the CI benchcheck gate, so single-window means would make
+// the gate flaky on shared runners.
+const measureRounds = 3
+
+// measure times fn over measureRounds windows of at least minDur (and at
+// least 5 ops each) and returns the fastest round's mean ns/op.
 func measure(name string, minDur time.Duration, fn func()) engineBenchResult {
 	// Warm-up run (builds lazy indexes, fills caches where intended).
 	fn()
-	ops := 0
-	start := time.Now()
-	for time.Since(start) < minDur || ops < 5 {
-		fn()
-		ops++
+	best := engineBenchResult{Name: name}
+	for round := 0; round < measureRounds; round++ {
+		ops := 0
+		start := time.Now()
+		for time.Since(start) < minDur || ops < 5 {
+			fn()
+			ops++
+		}
+		elapsed := time.Since(start)
+		nsPerOp := float64(elapsed.Nanoseconds()) / float64(ops)
+		if best.Ops == 0 || nsPerOp < best.NsPerOp {
+			best.NsPerOp = nsPerOp
+			best.Ops = ops
+		}
 	}
-	elapsed := time.Since(start)
-	return engineBenchResult{
-		Name:    name,
-		NsPerOp: float64(elapsed.Nanoseconds()) / float64(ops),
-		Ops:     ops,
-	}
+	return best
 }
 
 // join3Query is the 3-table equi-join target, the same statement the

@@ -9,6 +9,7 @@
 //	benchrun -benchjson BENCH_sqlengine.json   # emit the engine perf snapshot and exit
 //	benchrun -servebench BENCH_server.json     # emit the serving perf snapshot and exit
 //	benchrun -pipebench BENCH_pipeline.json    # emit the evidence-pipeline snapshot and exit
+//	benchrun -storebench BENCH_store.json      # emit the durability (warm-restart) snapshot and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -31,6 +32,8 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write the sqlengine perf snapshot (cold parse, cached plan, nested vs hash join, Evaluate pass) to this JSON file and exit")
 	serveBench := flag.String("servebench", "", "write the serving perf snapshot (serial vs concurrent vs micro-batched /v1/query load) to this JSON file and exit")
 	pipeBench := flag.String("pipebench", "", "write the evidence-pipeline perf snapshot (cold sequential vs stage-DAG generation, partial-warm memo reuse) to this JSON file and exit")
+	storeBench := flag.String("storebench", "", "write the durability perf snapshot (cold vs steady vs warm-restart serving over the evidence store) to this JSON file and exit")
+	storeDir := flag.String("store-dir", "", "durable evidence store directory for the experiment drivers (same layout as seedd -store-dir): repeat runs replay instead of regenerating")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -54,8 +57,20 @@ func main() {
 		}
 		return
 	}
+	if *storeBench != "" {
+		if err := writeStoreBench(*storeBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "storebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
-	env := experiments.NewEnv(*seedFlag)
+	var env *experiments.Env
+	if *storeDir != "" {
+		env = experiments.NewEnvWithStore(*seedFlag, *storeDir)
+	} else {
+		env = experiments.NewEnv(*seedFlag)
+	}
 	defer env.Close()
 	run := func(id string) {
 		start := time.Now()

@@ -8,9 +8,18 @@
 //	seedd                                  # BIRD on 127.0.0.1:8080
 //	seedd -addr 127.0.0.1:0 -addrfile /tmp/seedd.addr   # ephemeral port, address written to file
 //	seedd -corpus both -variant seed_deepseek -rate 500 -inflight 128
+//	seedd -store-dir /var/lib/seedd        # durable evidence: warm restarts
+//
+// With -store-dir, every generated evidence entry is persisted
+// write-through to a crash-safe store (one subdirectory per corpus) and
+// replayed into the evidence cache on startup, so a restarted daemon
+// serves the corpus it already paid for without a single LLM call.
+// /metrics reports the store counters (records, WAL size, replay time,
+// snapshot age).
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain (up to 5s), pending micro-batches flush, worker pools stop.
+// drain (up to 5s), pending micro-batches flush, worker pools stop, and
+// the evidence store is flushed and closed.
 package main
 
 import (
@@ -47,6 +56,8 @@ func main() {
 	burst := flag.Int("burst", 64, "admission token-bucket burst")
 	inflight := flag.Int("inflight", 256, "max in-flight requests (0 = unlimited)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+	storeDir := flag.String("store-dir", "", "durable evidence store directory: evidence survives restarts, replayed into the cache on startup (empty = in-memory only)")
+	storeCompact := flag.Int("store-compact", 0, "store WAL compaction threshold in records (0 = 1024, negative disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	flag.Parse()
 
@@ -73,19 +84,22 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Corpora:         corpora,
-		Client:          llm.NewSimulator(),
-		Variant:         seed.Variant(*variant),
-		Generator:       *generator,
-		EvidenceWorkers: *workers,
-		EvidenceCache:   *cache,
-		BatchWindow:     *batchWindow,
-		BatchMax:        *batchMax,
-		Rate:            *rate,
-		Burst:           *burst,
-		MaxInFlight:     *inflight,
-		RequestTimeout:  *timeout,
-		Logger:          log,
+		Corpora:           corpora,
+		Client:            llm.NewSimulator(),
+		Variant:           seed.Variant(*variant),
+		Generator:         *generator,
+		EvidenceWorkers:   *workers,
+		EvidenceCache:     *cache,
+		BatchWindow:       *batchWindow,
+		BatchMax:          *batchMax,
+		Rate:              *rate,
+		Burst:             *burst,
+		MaxInFlight:       *inflight,
+		RequestTimeout:    *timeout,
+		StoreDir:          *storeDir,
+		StoreCompactEvery: *storeCompact,
+		StoreSeed:         *seedFlag,
+		Logger:            log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

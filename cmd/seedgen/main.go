@@ -8,6 +8,17 @@
 //	seedgen -corpus bird -variant gpt -limit 10
 //	seedgen -corpus spider -variant deepseek
 //	seedgen -corpus bird -workers 8 -cache 4096   # batch tuning
+//	seedgen -corpus bird -store-dir /var/lib/seedd   # share seedd's corpus
+//
+// With -store-dir, generation reads and writes the same durable evidence
+// store layout seedd uses (StoreDir/<corpus>): questions the daemon has
+// already served cost a cache lookup here, and evidence generated offline
+// is served warm by the next daemon start — one evidence corpus shared
+// between offline runs and online serving. The store holds a directory
+// flock, so pointing seedgen at a directory a running seedd owns fails
+// fast instead of corrupting the log; a store built under a different
+// -seed refuses to open (manifest mismatch) instead of serving stale
+// evidence.
 package main
 
 import (
@@ -15,10 +26,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/evserve"
+	"repro/internal/evstore"
 	"repro/internal/llm"
 	"repro/internal/seed"
 )
@@ -32,6 +45,7 @@ func main() {
 	workers := flag.Int("workers", 0, "evidence worker pool size (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 4096, "evidence cache capacity in entries (negative disables)")
 	stats := flag.Bool("stats", false, "print the per-stage pipeline cost table (runs, memo hits, wall time, tokens)")
+	storeDir := flag.String("store-dir", "", "durable evidence store directory (same layout as seedd -store-dir; empty = in-memory only)")
 	flag.Parse()
 
 	var corpus *dataset.Corpus
@@ -62,12 +76,30 @@ func main() {
 		fmt.Println("-- generated description files for all spider databases")
 	}
 
-	svc := evserve.New(evserve.Options{
-		Variant:        string(cfg.Variant),
+	svcOpts := evserve.Options{
+		// One namespace rule shared with serving and the experiment
+		// drivers, so a shared store replays cleanly in every direction.
+		Variant:        evserve.CacheNamespace(string(cfg.Variant), *corpusName),
 		GenerateTraced: p.GenerateEvidenceTraced,
 		Workers:        *workers,
 		CacheCapacity:  *cacheSize,
-	})
+	}
+	var store *evstore.Store
+	if *storeDir != "" {
+		// Same layout seedd uses: one store per corpus, keys carry the
+		// variant, so offline and online runs share one evidence corpus.
+		var err error
+		store, err = evstore.Open(filepath.Join(*storeDir, *corpusName), evstore.Options{
+			Manifest: evstore.Manifest(*corpusName, *seedFlag),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opening store: %v\n", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		svcOpts.Store = store
+	}
+	svc := evserve.New(svcOpts)
 	defer svc.Close()
 
 	split := corpus.Dev
@@ -102,10 +134,17 @@ func main() {
 	}
 
 	ledger := client.LedgerSnapshot()
+	svcStats := svc.Stats()
 	fmt.Printf("\n-- %d questions in %v (%.0f q/s), %d simulated LLM calls\n",
 		len(split), elapsed.Round(time.Millisecond),
 		float64(len(split))/elapsed.Seconds(), ledger.TotalCalls())
-	fmt.Printf("-- %s\n", svc.Stats())
+	fmt.Printf("-- %s\n", svcStats)
+	if store != nil {
+		sst := store.Stats()
+		fmt.Printf("-- store %s: %d records (%d restored into cache), %d appended this run, replay %v\n",
+			store.Dir(), sst.Records, svcStats.Restored, svcStats.StoreAppends,
+			time.Duration(sst.ReplayMicros)*time.Microsecond)
+	}
 	for model, u := range ledger.PerModel {
 		fmt.Printf("--   %s: %d calls, %d prompt tokens, %d completion tokens\n",
 			model, u.Calls, u.PromptTokens, u.CompletionTokens)
@@ -115,7 +154,7 @@ func main() {
 		fmt.Printf("\n-- per-stage pipeline cost (%s)\n", cfg.Variant)
 		fmt.Printf("--   %-18s %6s %10s %6s %12s %12s %9s\n",
 			"stage", "runs", "memo hits", "hit%", "mean wall", "total wall", "tokens")
-		for _, sa := range svc.Stats().Stages {
+		for _, sa := range svcStats.Stages {
 			fmt.Printf("--   %-18s %6d %10d %5.0f%% %12s %12s %9d\n",
 				sa.Stage, sa.Count, sa.CacheHits, 100*sa.HitRate(),
 				(time.Duration(sa.MeanMicros()) * time.Microsecond).Round(time.Microsecond),

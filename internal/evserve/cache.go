@@ -25,6 +25,20 @@ type Key struct {
 	QHash uint64
 }
 
+// CacheNamespace maps a SEED variant and corpus name to the service
+// variant string used in cache and store keys. Spider corpora get a
+// "_spider" suffix: their evidence is generated over model-written
+// description files, so it must never be served from (or persisted into)
+// BIRD's namespace under the same variant. Every construction site —
+// serving, seedgen, the experiment drivers — must use this one rule, or
+// a shared store replays entries whose keys never match.
+func CacheNamespace(variant, corpus string) string {
+	if corpus == "spider" {
+		return variant + "_spider"
+	}
+	return variant
+}
+
 // KeyFor builds the cache key for a (db, variant, question) triple. The
 // hash covers all three components so it can double as the shard selector
 // without re-hashing on the hot lookup path.

@@ -38,6 +38,24 @@ type GenerateFunc func(dbName, question string) (string, error)
 // seed.Pipeline.GenerateEvidenceTraced qualifies.
 type TracedFunc func(ctx context.Context, dbName, question string) (string, *pipeline.Trace, error)
 
+// Store persists cache entries across process restarts. evstore.Store is
+// the canonical implementation; the interface lives here so the service
+// does not depend on any particular persistence format.
+//
+// Implementations must be safe for concurrent use: Append is called from
+// every generating goroutine.
+type Store interface {
+	// Load streams every persisted entry; New replays it into the cache
+	// before the service accepts requests.
+	Load(fn func(Key, Entry)) error
+	// Append persists one freshly generated entry write-through.
+	Append(Key, Entry) error
+	// Flush forces buffered appends down to the OS; Close calls it after
+	// the worker pool drains so no accepted write is lost on clean
+	// shutdown.
+	Flush() error
+}
+
 // Options configures a Service.
 type Options struct {
 	// Variant names the evidence flavour this service produces (e.g.
@@ -59,6 +77,13 @@ type Options struct {
 	// CacheShards is the shard count (rounded up to a power of two);
 	// 0 defaults to 16.
 	CacheShards int
+	// Store, when set, makes the cache durable: New replays the store
+	// into the cache (traces included) before serving, every generation
+	// is persisted write-through, and Close flushes the store after the
+	// worker pool drains. Caching must be enabled (CacheCapacity >= 0)
+	// for restore to have somewhere to land; appends happen regardless.
+	// The Service does not close the store — its creator owns that.
+	Store Store
 }
 
 // ErrClosed is returned by Generate and GenerateAll after Close.
@@ -114,6 +139,7 @@ type Service struct {
 	jobs      chan job
 	workersWG sync.WaitGroup
 	closeOnce sync.Once
+	flushOnce sync.Once
 	done      chan struct{}
 
 	inflight    atomic.Int64
@@ -121,6 +147,10 @@ type Service struct {
 	generations atomic.Int64
 	failures    atomic.Int64
 	genNanos    atomic.Int64
+
+	restored     int64 // entries replayed from the store at New; written once, read by Stats
+	storeAppends atomic.Int64
+	storeErrors  atomic.Int64
 
 	batchCalls    atomic.Int64
 	batchRequests atomic.Int64
@@ -162,6 +192,26 @@ func New(opts Options) *Service {
 	}
 	if opts.CacheCapacity >= 0 {
 		s.cache = NewCache(opts.CacheCapacity, opts.CacheShards)
+	}
+	if opts.Store != nil && s.cache != nil {
+		// Warm restart: replay the durable store into the cache before the
+		// first request, so a restarted service serves byte-identical
+		// evidence (traces included) without a single generation.
+		// A replay failure is not fatal: the service degrades to a cold
+		// cache and the error surfaces through Stats.StoreErrors. Entries
+		// of other variants are skipped — stores are shared per corpus, so
+		// a multi-variant store would otherwise pollute (and, under a
+		// small CacheCapacity, evict) this service's own entries with keys
+		// it can never look up.
+		if err := opts.Store.Load(func(k Key, e Entry) {
+			if k.Variant != opts.Variant {
+				return
+			}
+			s.cache.Put(k, e)
+			s.restored++
+		}); err != nil {
+			s.storeErrors.Add(1)
+		}
 	}
 	s.workersWG.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -242,6 +292,16 @@ func (s *Service) GenerateTraced(ctx context.Context, db, question string) (Evid
 		if s.cache != nil {
 			s.cache.Put(k, e)
 		}
+		if s.opts.Store != nil {
+			// Write-through: the entry is on its way to disk before the
+			// caller sees it. Store failures never fail the request —
+			// evidence was generated; only durability suffered.
+			if serr := s.opts.Store.Append(k, e); serr != nil {
+				s.storeErrors.Add(1)
+			} else {
+				s.storeAppends.Add(1)
+			}
+		}
 		return e, nil
 	})
 	if shared {
@@ -298,12 +358,29 @@ submit:
 	return results, batchErr
 }
 
-// Close stops the worker pool and waits for in-flight jobs to drain. It is
-// idempotent. Batches submitted concurrently with Close may observe
-// ErrClosed on their remaining requests.
+// Close stops the worker pool, waits for in-flight jobs to drain, and
+// then flushes the store (when one is attached) so every write accepted
+// before shutdown is durable — flushing before the workers drain would
+// race the last generations' appends. It is idempotent. Batches submitted
+// concurrently with Close may observe ErrClosed on their remaining
+// requests.
 func (s *Service) Close() {
 	s.closeOnce.Do(func() { close(s.done) })
 	s.workersWG.Wait()
+	if s.opts.Store != nil {
+		// Every pool worker has exited, so every batch-accepted append has
+		// been issued; flushing here pins the "no accepted write lost on
+		// clean shutdown" guarantee. (Direct Generate callers racing Close
+		// still append safely — the store serializes appends — but only
+		// their own Flush policy covers writes issued after this point.)
+		// Flushed once: a repeat Close after the store's owner closed it
+		// must not report a phantom StoreError.
+		s.flushOnce.Do(func() {
+			if err := s.opts.Store.Flush(); err != nil {
+				s.storeErrors.Add(1)
+			}
+		})
+	}
 }
 
 // Stats is a point-in-time snapshot of the service's counters.
@@ -334,6 +411,16 @@ type Stats struct {
 	BatchRequests int64
 	// BatchTime is the summed wall time of all GenerateAll calls.
 	BatchTime time.Duration
+	// Restored counts entries replayed from the durable store into the
+	// cache at construction; 0 when no store is attached (or it was
+	// empty).
+	Restored int64
+	// StoreAppends counts entries persisted write-through to the store.
+	StoreAppends int64
+	// StoreErrors counts store operations (replay, append, flush) that
+	// failed. Store failures never fail requests; this counter is how
+	// they surface.
+	StoreErrors int64
 	// Stages aggregates the per-stage provenance traces of every traced
 	// generation: count, memo hits, wall time and token spend per
 	// pipeline stage. Empty when the wrapped generator is untraced.
@@ -373,6 +460,9 @@ func (s *Service) Stats() Stats {
 		BatchCalls:     s.batchCalls.Load(),
 		BatchRequests:  s.batchRequests.Load(),
 		BatchTime:      time.Duration(s.batchNanos.Load()),
+		Restored:       s.restored,
+		StoreAppends:   s.storeAppends.Load(),
+		StoreErrors:    s.storeErrors.Load(),
 		Stages:         s.stages.Snapshot(),
 	}
 	if s.cache != nil {

@@ -1,0 +1,9 @@
+//go:build !(darwin || dragonfly || freebsd || linux || netbsd || openbsd)
+
+package evstore
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics: the
+// one-process-per-directory rule stays documented but unenforced there.
+func lockFile(*os.File) error { return nil }

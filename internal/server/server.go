@@ -29,12 +29,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/evserve"
+	"repro/internal/evstore"
 	"repro/internal/llm"
 	"repro/internal/pipeline"
 	"repro/internal/seed"
@@ -79,6 +81,21 @@ type Config struct {
 	MaxInFlight int
 	// RequestTimeout is the per-request deadline; <= 0 disables it.
 	RequestTimeout time.Duration
+	// StoreDir, when non-empty, makes evidence durable: each corpus gets
+	// an evstore at StoreDir/<corpus>, the evidence caches are replayed
+	// from it on startup (warm restart), every generation is persisted
+	// write-through, and shutdown flushes the stores. Empty disables
+	// persistence — the pre-durability in-memory behaviour.
+	StoreDir string
+	// StoreCompactEvery is the per-store WAL compaction threshold in
+	// records; 0 uses the evstore default (1024), negative disables
+	// automatic compaction.
+	StoreCompactEvery int
+	// StoreSeed is the corpus-generation seed behind the served data.
+	// Each store is stamped with evstore.Manifest(corpus, StoreSeed), and
+	// a store stamped differently refuses to open — evidence from another
+	// generation would be served as stale cache hits.
+	StoreSeed uint64
 	// Logger receives structured request logs; nil uses slog.Default().
 	Logger *slog.Logger
 }
@@ -90,9 +107,11 @@ type Server struct {
 	log *slog.Logger
 	reg *registry
 
-	// services and batchers are keyed by corpus name.
+	// services, batchers and stores are keyed by corpus name; stores is
+	// empty when Config.StoreDir is unset.
 	services map[string]*evserve.Service
 	batchers map[string]*batcher
+	stores   map[string]*evstore.Store
 	corpora  map[string]*dataset.Corpus
 
 	adm    *admission
@@ -135,6 +154,7 @@ func New(cfg Config) (*Server, error) {
 		log:      log,
 		services: make(map[string]*evserve.Service),
 		batchers: make(map[string]*batcher),
+		stores:   make(map[string]*evstore.Store),
 		corpora:  make(map[string]*dataset.Corpus),
 		adm:      newAdmission(cfg.Rate, cfg.Burst, cfg.MaxInFlight),
 		routes:   make(map[string]*routeMetrics),
@@ -143,29 +163,44 @@ func New(cfg Config) (*Server, error) {
 	gens := make(map[string]texttosql.Generator, len(cfg.Corpora))
 	for _, corpus := range cfg.Corpora {
 		if _, dup := s.corpora[corpus.Name]; dup {
+			s.Close() // stop pools and stores already started for earlier corpora
 			return nil, fmt.Errorf("server: corpus %q listed twice", corpus.Name)
 		}
 		s.corpora[corpus.Name] = corpus
 		p := seed.New(seedCfg, cfg.Client, corpus)
-		variant := string(cfg.Variant)
+		variant := evserve.CacheNamespace(string(cfg.Variant), corpus.Name)
 		if corpus.Name == "spider" {
 			// Spider ships no description files; generate them first, as
-			// Env.SpiderSeedEvidence does, and keep its cache namespace
-			// separate from BIRD's.
+			// Env.SpiderSeedEvidence does.
 			for _, db := range corpus.DBs {
 				if err := p.DescribeDatabase(db); err != nil {
 					s.Close() // stop worker pools already started for earlier corpora
 					return nil, fmt.Errorf("server: describing spider DB %s: %w", db.Name, err)
 				}
 			}
-			variant += "_spider"
 		}
-		svc := evserve.New(evserve.Options{
+		var store *evstore.Store
+		if cfg.StoreDir != "" {
+			store, err = evstore.Open(filepath.Join(cfg.StoreDir, corpus.Name), evstore.Options{
+				CompactEvery: cfg.StoreCompactEvery,
+				Manifest:     evstore.Manifest(corpus.Name, cfg.StoreSeed),
+			})
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("server: opening evidence store for %s: %w", corpus.Name, err)
+			}
+			s.stores[corpus.Name] = store
+		}
+		svcOpts := evserve.Options{
 			Variant:        variant,
 			GenerateTraced: p.GenerateEvidenceTraced,
 			Workers:        cfg.EvidenceWorkers,
 			CacheCapacity:  cfg.EvidenceCache,
-		})
+		}
+		if store != nil {
+			svcOpts.Store = store
+		}
+		svc := evserve.New(svcOpts)
 		s.services[corpus.Name] = svc
 		s.batchers[corpus.Name] = newBatcher(svc, cfg.BatchWindow, cfg.BatchMax)
 		gen, err := GeneratorFor(cfg.Generator, cfg.Client)
@@ -212,9 +247,10 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// Close flushes pending micro-batches and stops the evidence worker
-// pools. It is idempotent, and safe to race with in-flight requests: they
-// fail with evserve.ErrClosed rather than hang.
+// Close flushes pending micro-batches, stops the evidence worker pools
+// (each service flushes its store after its pool drains), and closes the
+// evidence stores. It is idempotent, and safe to race with in-flight
+// requests: they fail with evserve.ErrClosed rather than hang.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		for _, b := range s.batchers {
@@ -222,6 +258,11 @@ func (s *Server) Close() {
 		}
 		for _, svc := range s.services {
 			svc.Close()
+		}
+		for name, st := range s.stores {
+			if err := st.Close(); err != nil {
+				s.log.Warn("closing evidence store", "corpus", name, "err", err)
+			}
 		}
 	})
 }
@@ -517,6 +558,10 @@ type MetricsSnapshot struct {
 	Evidence       map[string]EvidenceSnapshot  `json:"evidence"`
 	Batcher        map[string]BatcherStats      `json:"batcher"`
 	PlanCache      map[string]PlanCacheSnapshot `json:"plan_cache"`
+	// Store holds the per-corpus durable evidence store counters
+	// (records, WAL size, compactions, replay time, snapshot age);
+	// omitted when the server runs without -store-dir.
+	Store map[string]evstore.Stats `json:"store,omitempty"`
 }
 
 // EvidenceSnapshot is the /metrics view of one corpus evidence service.
@@ -530,6 +575,12 @@ type EvidenceSnapshot struct {
 	Dedups       int64   `json:"dedups"`
 	Generations  int64   `json:"generations"`
 	Failures     int64   `json:"failures"`
+	// Restored counts cache entries replayed from the durable store at
+	// startup; StoreAppends/StoreErrors count write-through persistence
+	// outcomes. All zero when the server runs without a store.
+	Restored     int64 `json:"restored,omitempty"`
+	StoreAppends int64 `json:"store_appends,omitempty"`
+	StoreErrors  int64 `json:"store_errors,omitempty"`
 	// Stages aggregates per-stage pipeline cost across every traced
 	// generation: runs, memo hits, wall time and tokens per DAG stage.
 	Stages []pipeline.StageAgg `json:"stages,omitempty"`
@@ -553,15 +604,18 @@ func (s *Server) Metrics() MetricsSnapshot {
 	for name, svc := range s.services {
 		st := svc.Stats()
 		es := EvidenceSnapshot{
-			Variant:     st.Variant,
-			Workers:     st.Workers,
-			CacheHits:   st.Cache.Hits,
-			CacheMisses: st.Cache.Misses,
-			Entries:     st.Cache.Entries,
-			Dedups:      st.Dedups,
-			Generations: st.Generations,
-			Failures:    st.Failures,
-			Stages:      st.Stages,
+			Variant:      st.Variant,
+			Workers:      st.Workers,
+			CacheHits:    st.Cache.Hits,
+			CacheMisses:  st.Cache.Misses,
+			Entries:      st.Cache.Entries,
+			Dedups:       st.Dedups,
+			Generations:  st.Generations,
+			Failures:     st.Failures,
+			Restored:     st.Restored,
+			StoreAppends: st.StoreAppends,
+			StoreErrors:  st.StoreErrors,
+			Stages:       st.Stages,
 		}
 		if probes := st.Cache.Hits + st.Cache.Misses; probes > 0 {
 			es.CacheHitRate = float64(st.Cache.Hits) / float64(probes)
@@ -570,6 +624,12 @@ func (s *Server) Metrics() MetricsSnapshot {
 	}
 	for name, b := range s.batchers {
 		snap.Batcher[name] = b.stats()
+	}
+	if len(s.stores) > 0 {
+		snap.Store = make(map[string]evstore.Stats, len(s.stores))
+		for name, st := range s.stores {
+			snap.Store[name] = st.Stats()
+		}
 	}
 	for name, corpus := range s.corpora {
 		var agg sqlengine.PlanCacheStats
