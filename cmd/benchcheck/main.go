@@ -121,6 +121,26 @@ func loadMetrics(path string) (map[string]float64, error) {
 // comparePair gates one baseline=current snapshot pair.
 func comparePair(baselinePath, currentPath string, threshold float64) ([]comparison, error) {
 	base, err := loadMetrics(baselinePath)
+	if os.IsNotExist(err) {
+		// The baseline file does not exist yet: this is the first run of a
+		// brand-new benchmark. Nothing can be gated, but the current
+		// metrics are worth surfacing — report each as new_in_current
+		// (a warning, not a failure) so the operator commits the baseline.
+		cur, curErr := loadMetrics(currentPath)
+		if curErr != nil {
+			return nil, curErr
+		}
+		var comps []comparison
+		for metric, c := range cur {
+			comps = append(comps, comparison{
+				File: baselinePath, Metric: metric, Current: c, Verdict: verdictNew,
+			})
+		}
+		sort.Slice(comps, func(i, j int) bool { return comps[i].Metric < comps[j].Metric })
+		fmt.Fprintf(os.Stderr, "benchcheck: warning: baseline %s does not exist yet; %d metric(s) from %s reported ungated — commit the baseline to arm the gate\n",
+			baselinePath, len(comps), currentPath)
+		return comps, nil
+	}
 	if err != nil {
 		return nil, err
 	}

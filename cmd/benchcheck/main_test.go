@@ -218,8 +218,35 @@ func TestVacuousBaselineRejected(t *testing.T) {
 // TestCommittedBaselinesSelfCompare: every committed BENCH file gates
 // cleanly against itself — guards against a snapshot schema change that
 // silently empties the gated metric set.
+// TestAbsentBaselineWarnsNotFails pins first-run behavior: when a brand-new
+// benchmark's baseline file has not been committed yet, the gate must
+// surface the current metrics as new_in_current and pass — never error or
+// count a regression. Only an unreadable *current* snapshot is fatal.
+func TestAbsentBaselineWarnsNotFails(t *testing.T) {
+	cur := writeSnap(t, "fresh.json", map[string]any{
+		"speedups": map[string]any{"brand_new_ratio": 12.5},
+	})
+	missing := filepath.Join(t.TempDir(), "BENCH_notyet.json")
+	r, err := run([]string{missing + "=" + cur}, 0.30, "")
+	if err != nil {
+		t.Fatalf("absent baseline must warn, not error: %v", err)
+	}
+	if !r.Passed || r.Regressions != 0 {
+		t.Fatalf("absent baseline counted as regression: %+v", r)
+	}
+	if got := verdictOf(t, r, "speedups.brand_new_ratio"); got != verdictNew {
+		t.Fatalf("verdict = %q, want %q", got, verdictNew)
+	}
+
+	// A current snapshot that cannot be read is still a hard error — the
+	// leniency is only for the baseline side.
+	if _, err := run([]string{missing + "=" + filepath.Join(t.TempDir(), "nope.json")}, 0.30, ""); err == nil {
+		t.Fatal("unreadable current snapshot must fail even with an absent baseline")
+	}
+}
+
 func TestCommittedBaselinesSelfCompare(t *testing.T) {
-	for _, name := range []string{"BENCH_sqlengine.json", "BENCH_pipeline.json", "BENCH_server.json", "BENCH_store.json"} {
+	for _, name := range []string{"BENCH_sqlengine.json", "BENCH_pipeline.json", "BENCH_server.json", "BENCH_store.json", "BENCH_scale.json"} {
 		path := filepath.Join("..", "..", name)
 		if _, err := os.Stat(path); err != nil {
 			t.Fatalf("committed baseline %s missing: %v", name, err)

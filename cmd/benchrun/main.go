@@ -10,6 +10,7 @@
 //	benchrun -servebench BENCH_server.json     # emit the serving perf snapshot and exit
 //	benchrun -pipebench BENCH_pipeline.json    # emit the evidence-pipeline snapshot and exit
 //	benchrun -storebench BENCH_store.json      # emit the durability (warm-restart) snapshot and exit
+//	benchrun -scalebench BENCH_scale.json      # emit the scale snapshot (1k/100k/1M-row synthetic corpora) and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -33,6 +34,7 @@ func main() {
 	serveBench := flag.String("servebench", "", "write the serving perf snapshot (serial vs concurrent vs micro-batched /v1/query load) to this JSON file and exit")
 	pipeBench := flag.String("pipebench", "", "write the evidence-pipeline perf snapshot (cold sequential vs stage-DAG generation, partial-warm memo reuse) to this JSON file and exit")
 	storeBench := flag.String("storebench", "", "write the durability perf snapshot (cold vs steady vs warm-restart serving over the evidence store) to this JSON file and exit")
+	scaleBench := flag.String("scalebench", "", "write the scale perf snapshot (synthetic corpora at 1k/100k/1M rows: generation, engine planner on/off, serving QPS) to this JSON file and exit")
 	storeDir := flag.String("store-dir", "", "durable evidence store directory for the experiment drivers (same layout as seedd -store-dir): repeat runs replay instead of regenerating")
 	flag.Parse()
 
@@ -60,6 +62,13 @@ func main() {
 	if *storeBench != "" {
 		if err := writeStoreBench(*storeBench, *seedFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "storebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scaleBench != "" {
+		if err := writeScaleBench(*scaleBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "scalebench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -95,12 +95,12 @@ func bestLoad(rounds int, run func() (*server.LoadReport, error)) (*server.LoadR
 	return best, nil
 }
 
-// startServer builds a serving stack over a fresh BIRD corpus and exposes
+// startServer builds a serving stack over the given corpora and exposes
 // it on a loopback ephemeral port. The returned stop function shuts the
 // HTTP server and the serving subsystem down.
-func startServer(corpusSeed uint64, batchWindow time.Duration, batchMax int) (srv *server.Server, base string, stop func(), err error) {
+func startServer(corpora []*dataset.Corpus, batchWindow time.Duration, batchMax int) (srv *server.Server, base string, stop func(), err error) {
 	srv, err = server.New(server.Config{
-		Corpora:        []*dataset.Corpus{dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})},
+		Corpora:        corpora,
 		Client:         llm.NewSimulator(),
 		Variant:        seed.VariantGPT,
 		BatchWindow:    batchWindow,
@@ -154,7 +154,7 @@ func writeServerBench(path string, corpusSeed uint64) error {
 	}
 
 	// Served regimes 1+2: batching disabled.
-	_, base, stop, err := startServer(corpusSeed, 0, 0)
+	_, base, stop, err := startServer([]*dataset.Corpus{dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})}, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -185,7 +185,7 @@ func writeServerBench(path string, corpusSeed uint64) error {
 	// Served regime 3: micro-batching on, fresh server. BatchMax matches
 	// client concurrency so saturated batches flush on size immediately;
 	// the window only sweeps up stragglers.
-	batchedSrv, base, stop, err := startServer(corpusSeed, 2*time.Millisecond, concurrency)
+	batchedSrv, base, stop, err := startServer([]*dataset.Corpus{dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})}, 2*time.Millisecond, concurrency)
 	if err != nil {
 		return err
 	}

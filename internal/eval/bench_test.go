@@ -46,6 +46,9 @@ func BenchmarkEvaluate(b *testing.B) {
 // planner's stability contract: a full Evaluate pass produces bit-identical
 // EX and VES with the planner on and off.
 func TestEvaluateMetricsPlannerInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus double evaluation; skipped in -short")
+	}
 	score := func(planner bool) Metrics {
 		corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: 7})
 		for _, db := range corpus.DBs {

@@ -88,6 +88,9 @@ func TestTable3CountsAllCategories(t *testing.T) {
 }
 
 func TestTable6ShowsJoinDifference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy: run without -short")
+	}
 	e := testEnv(t)
 	tab := Table6(e)
 	if len(tab.Rows) < 4 {

@@ -215,6 +215,68 @@ func (d *DB) PromptText(includeDocs bool) string {
 	return b.String()
 }
 
+// DependencyOrder returns the database's tables topologically sorted by
+// their foreign-key dependencies: every parent table precedes all of its
+// children, so rows inserted in this order can always resolve their
+// references. Self-referencing foreign keys do not constrain the order
+// (a table can obviously not precede itself); a genuine cycle between
+// distinct tables is an error. Ties are broken by creation order, which
+// keeps the result deterministic.
+func DependencyOrder(db *sqlengine.Database) ([]*sqlengine.Table, error) {
+	tables := db.Tables()
+	indegree := make(map[string]int, len(tables))
+	children := make(map[string][]string, len(tables))
+	byName := make(map[string]*sqlengine.Table, len(tables))
+	for _, t := range tables {
+		key := strings.ToLower(t.Name)
+		byName[key] = t
+		if _, ok := indegree[key]; !ok {
+			indegree[key] = 0
+		}
+		for _, fk := range t.ForeignKeys {
+			parent := strings.ToLower(fk.ParentTable)
+			if parent == key {
+				continue // self-reference: no ordering constraint
+			}
+			if _, ok := db.Table(parent); !ok {
+				return nil, fmt.Errorf("schema: table %s references unknown table %s", t.Name, fk.ParentTable)
+			}
+			children[parent] = append(children[parent], key)
+			indegree[key]++
+		}
+	}
+	// Kahn's algorithm over a creation-ordered ready queue.
+	var ready []string
+	for _, t := range tables {
+		key := strings.ToLower(t.Name)
+		if indegree[key] == 0 {
+			ready = append(ready, key)
+		}
+	}
+	out := make([]*sqlengine.Table, 0, len(tables))
+	for len(ready) > 0 {
+		key := ready[0]
+		ready = ready[1:]
+		out = append(out, byName[key])
+		for _, child := range children[key] {
+			indegree[child]--
+			if indegree[child] == 0 {
+				ready = append(ready, child)
+			}
+		}
+	}
+	if len(out) != len(tables) {
+		var cyclic []string
+		for _, t := range tables {
+			if indegree[strings.ToLower(t.Name)] > 0 {
+				cyclic = append(cyclic, t.Name)
+			}
+		}
+		return nil, fmt.Errorf("schema: foreign-key cycle among tables %v", cyclic)
+	}
+	return out, nil
+}
+
 // ForeignKeyOf looks up the foreign key linking childTable to parentTable,
 // if declared.
 func (d *DB) ForeignKeyOf(childTable, parentTable string) (sqlengine.ForeignKeyDef, bool) {

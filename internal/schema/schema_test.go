@@ -132,3 +132,67 @@ func TestParseTableDocCSVMalformed(t *testing.T) {
 		t.Error("malformed CSV should error")
 	}
 }
+
+func TestDependencyOrderParentsFirst(t *testing.T) {
+	eng := sqlengine.NewDatabase("deps")
+	// Declared child-before-parent on purpose: the sort must fix it.
+	eng.MustExec(`CREATE TABLE loan (loan_id INTEGER PRIMARY KEY, account_id INTEGER,
+		FOREIGN KEY (account_id) REFERENCES account(account_id))`)
+	eng.MustExec(`CREATE TABLE account (account_id INTEGER PRIMARY KEY, district_id INTEGER,
+		FOREIGN KEY (district_id) REFERENCES district(district_id))`)
+	eng.MustExec(`CREATE TABLE district (district_id INTEGER PRIMARY KEY)`)
+	eng.MustExec(`CREATE TABLE employee (emp_id INTEGER PRIMARY KEY, manager_id INTEGER,
+		FOREIGN KEY (manager_id) REFERENCES employee(emp_id))`)
+
+	order, err := DependencyOrder(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("got %d tables, want 4", len(order))
+	}
+	pos := make(map[string]int)
+	for i, tab := range order {
+		pos[strings.ToLower(tab.Name)] = i
+	}
+	if pos["district"] > pos["account"] || pos["account"] > pos["loan"] {
+		t.Fatalf("parents must precede children, got order %v", order)
+	}
+}
+
+func TestDependencyOrderDeterministic(t *testing.T) {
+	build := func() *sqlengine.Database {
+		eng := sqlengine.NewDatabase("deps")
+		eng.MustExec(`CREATE TABLE a (id INTEGER PRIMARY KEY)`)
+		eng.MustExec(`CREATE TABLE b (id INTEGER PRIMARY KEY)`)
+		eng.MustExec(`CREATE TABLE c (id INTEGER PRIMARY KEY, a_id INTEGER,
+			FOREIGN KEY (a_id) REFERENCES a(id))`)
+		return eng
+	}
+	first, err := DependencyOrder(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := DependencyOrder(build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first {
+			if first[j].Name != again[j].Name {
+				t.Fatalf("run %d: order differs at %d: %s vs %s", i, j, first[j].Name, again[j].Name)
+			}
+		}
+	}
+}
+
+func TestDependencyOrderCycleError(t *testing.T) {
+	eng := sqlengine.NewDatabase("cyclic")
+	eng.MustExec(`CREATE TABLE x (id INTEGER PRIMARY KEY, y_id INTEGER,
+		FOREIGN KEY (y_id) REFERENCES y(id))`)
+	eng.MustExec(`CREATE TABLE y (id INTEGER PRIMARY KEY, x_id INTEGER,
+		FOREIGN KEY (x_id) REFERENCES x(id))`)
+	if _, err := DependencyOrder(eng); err == nil {
+		t.Fatal("cycle between x and y must be an error")
+	}
+}

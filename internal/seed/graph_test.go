@@ -18,6 +18,9 @@ import (
 // -race, which also exercises the DAG's intra-request stage concurrency on
 // every question.
 func TestDAGMatchesSequentialGoldenBIRDDev(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full BIRD dev golden sweep; skipped in -short (CI runs it in its own race lane)")
+	}
 	for _, mk := range []struct {
 		name string
 		p    func(t *testing.T) *Pipeline

@@ -48,13 +48,13 @@ func (env *evalEnv) eval(e Expr) (Value, error) {
 		}
 		return Bool(v.IsNull() != x.Not), nil
 	case *ExistsExpr:
-		rows, err := env.ec.execSelect(x.Sub, env.sc)
+		rows, err := env.execSub(x.Sub)
 		if err != nil {
 			return Value{}, err
 		}
 		return Bool((len(rows.Data) > 0) != x.Not), nil
 	case *SubqueryExpr:
-		rows, err := env.ec.execSelect(x.Sub, env.sc)
+		rows, err := env.execSub(x.Sub)
 		if err != nil {
 			return Value{}, err
 		}
@@ -287,7 +287,7 @@ func (env *evalEnv) evalIn(in *InExpr) (Value, error) {
 	}
 	var candidates []Value
 	if in.Sub != nil {
-		rows, err := env.ec.execSelect(in.Sub, env.sc)
+		rows, err := env.execSub(in.Sub)
 		if err != nil {
 			return Value{}, err
 		}

@@ -113,6 +113,11 @@ type execCtx struct {
 	db    *Database
 	cost  int64
 	plans map[*SelectStmt]*selectPlan
+	// Uncorrelated-subquery memo, per statement execution: results keyed
+	// by subquery node, plus the cached correlation verdict (see
+	// subquery.go).
+	subMemo map[*SelectStmt]*Rows
+	subCorr map[*SelectStmt]bool
 }
 
 // planFor returns the plan for sel, nil when executing unplanned.

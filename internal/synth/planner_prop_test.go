@@ -1,0 +1,81 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sqlengine"
+)
+
+// TestPlannerEquivalenceOnSynthCorpora is the scale extension of the
+// engine's planner-on/off quick-check: randomized synthetic databases plus
+// synthesized workloads, executed through both paths, must agree on every
+// row AND on the logical Result.Cost (the cost model is defined to be
+// plan-independent).
+func TestPlannerEquivalenceOnSynthCorpora(t *testing.T) {
+	src := financialFixture(t)
+	trials := 6
+	total := 3000
+	if testing.Short() {
+		trials, total = 2, 1200
+	}
+	for trial := 0; trial < trials; trial++ {
+		seed := uint64(1000 + trial*17)
+		planned, err := Generate(src, Options{Seed: seed, Rows: ProportionalRows(src, total)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := Generate(src, Options{Seed: seed, Rows: ProportionalRows(src, total)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if Fingerprint(planned) != Fingerprint(naive) {
+			t.Fatalf("trial %d: two generations from seed %d differ before the planner is even involved", trial, seed)
+		}
+		naive.Engine.SetPlanner(false)
+
+		qs, err := Workload(planned, 25, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			a, errA := planned.Engine.Exec(q.SQL)
+			b, errB := naive.Engine.Exec(q.SQL)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("trial %d: %q: planner=%v naive=%v", trial, q.SQL, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if !resultRowsIdentical(a.Rows, b.Rows) {
+				t.Fatalf("trial %d: %q: planner and naive rows differ\nplanner: %v\nnaive:   %v",
+					trial, q.SQL, a.Rows.Data, b.Rows.Data)
+			}
+			if a.Cost != b.Cost {
+				t.Fatalf("trial %d: %q: logical cost differs: planner %d vs naive %d — Cost must be plan-independent",
+					trial, q.SQL, a.Cost, b.Cost)
+			}
+		}
+	}
+}
+
+func resultRowsIdentical(a, b *sqlengine.Rows) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	if !reflect.DeepEqual(a.Columns, b.Columns) {
+		return false
+	}
+	if len(a.Data) != len(b.Data) {
+		return false
+	}
+	for i := range a.Data {
+		if !reflect.DeepEqual(a.Data[i], b.Data[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,70 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestWorkloadExecutableAndDeterministic(t *testing.T) {
+	src := financialFixture(t)
+	db, err := Generate(src, Options{Seed: 11, Rows: ProportionalRows(src, 4000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Workload(db, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 40 {
+		t.Fatalf("got %d queries, want 40", len(qs))
+	}
+	for _, q := range qs {
+		if q.Question == "" {
+			t.Fatalf("query %q has no question", q.SQL)
+		}
+		if _, err := db.Engine.Query(q.SQL); err != nil {
+			t.Fatalf("workload query %q does not execute: %v", q.SQL, err)
+		}
+	}
+
+	again, err := Workload(db, 40, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if qs[i] != again[i] {
+			t.Fatalf("workload not deterministic at %d: %+v vs %+v", i, qs[i], again[i])
+		}
+	}
+}
+
+func TestWorkloadToCorpus(t *testing.T) {
+	src := financialFixture(t)
+	db, err := Generate(src, Options{Seed: 3, Rows: ProportionalRows(src, 3000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := Workload(db, 20, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ToCorpus(db, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Train)+len(c.Dev) != 20 {
+		t.Fatalf("corpus lost examples: %d train + %d dev", len(c.Train), len(c.Dev))
+	}
+	if _, ok := c.DB(db.Name); !ok {
+		t.Fatalf("corpus has no database %q", db.Name)
+	}
+	for _, e := range append(append([]dataset.Example{}, c.Train...), c.Dev...) {
+		if e.GoldSQL != e.SQLTemplate {
+			t.Fatalf("example %s: atom-free gold SQL should equal the template", e.ID)
+		}
+		if e.Question == "" || e.DB != db.Name {
+			t.Fatalf("example %s malformed: %+v", e.ID, e)
+		}
+	}
+}
