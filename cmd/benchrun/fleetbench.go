@@ -1,0 +1,443 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/fleet/chaos"
+	"repro/internal/llm"
+	"repro/internal/seed"
+	"repro/internal/server"
+)
+
+// The -fleetbench mode: the fault-tolerance perf snapshot. It stands a
+// real fleet up — seedrouter's Router in front of N in-process seedd
+// serving stacks with WAL-shipping replication between them — and
+// measures four things:
+//
+//	routed_single_replica — router fronting one replica, warm cache: the
+//	                        single-node routed baseline.
+//	routed_fleet          — router fronting fleetSize replicas, evidence
+//	                        fully replicated: QPS scaling from sharding.
+//	routed_fleet_chaos    — the same fleet behind fault-injecting proxies
+//	                        (latency spikes, 5xx bursts, truncated
+//	                        responses): p99 and availability under chaos.
+//	failover              — one replica killed mid-serve; how long until
+//	                        its shard answers again (from the successor's
+//	                        replicated evidence, as a cache hit).
+//
+// One ratio feeds the CI benchcheck gate ("speedup" in the path):
+// failover_headroom_vs_5s_budget (5000ms / takeover-ms — recovery must
+// stay far inside the 5s budget the CI smoke enforces). The QPS scaling
+// ratio is informational only, deliberately named without "speedup" so
+// the gate skips it: both sides are warm same-box serving regimes whose
+// ratio jitters well past any useful regression band (on a multi-core
+// box it shows the sharding win; on a single-core runner it merely pins
+// routing + replication overhead). Raw takeover milliseconds and chaos
+// counters ride along ungated too.
+//
+// A handful of dev questions generate SQL that answers 422 (the
+// generator's known losses); they appear identically in every regime's
+// error count and are not availability loss — the availability number is
+// chaos_client_5xx, which the chaos regime pins at zero.
+
+const (
+	fleetSize        = 3
+	fleetConcurrency = 16
+)
+
+// fleetBenchReport is the BENCH_fleet.json schema.
+type fleetBenchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Seed        uint64 `json:"seed"`
+	FleetSize   int    `json:"fleet_size"`
+	// Questions is the distinct question count replayed; Requests is the
+	// request count per measured regime.
+	Questions int `json:"questions"`
+	Requests  int `json:"requests"`
+
+	SingleReplica *server.LoadReport `json:"routed_single_replica"`
+	Fleet         *server.LoadReport `json:"routed_fleet"`
+	Chaos         *server.LoadReport `json:"routed_fleet_chaos"`
+
+	// Speedups are the benchcheck-gated ratios.
+	Speedups struct {
+		// FailoverHeadroom is 5000 / FailoverTakeoverMs: how many times
+		// over the CI smoke's 5s recovery budget the measured takeover
+		// fits. Falls toward 1 as recovery degrades toward the budget.
+		FailoverHeadroom float64 `json:"failover_headroom_vs_5s_budget"`
+	} `json:"speedups"`
+
+	// QPSScaling is Fleet.QPS / SingleReplica.QPS — informational (see
+	// the mode comment for why it is not gated).
+	QPSScaling float64 `json:"qps_scaling_3_vs_1_ratio"`
+
+	// ChaosInjectedFaults counts faults the proxies actually injected
+	// during the chaos regime; ChaosClient5xx is how many of them leaked
+	// through the router to clients (the zero-availability-loss claim).
+	ChaosInjectedFaults int64 `json:"chaos_injected_faults"`
+	ChaosClient5xx      int64 `json:"chaos_client_5xx"`
+	// ChaosRouter is the chaos-regime router's full counter snapshot —
+	// how many attempts, retries, hedges and sheds the faults cost.
+	ChaosRouter fleet.Metrics `json:"chaos_router"`
+
+	// FailoverTakeoverMs is the wall time from killing the shard owner to
+	// the first successful routed answer for its shard.
+	FailoverTakeoverMs float64 `json:"failover_takeover_ms"`
+	// FailoverServedBy is the replica that took the shard over;
+	// FailoverCacheHit reports it answered from replicated evidence
+	// (no regeneration); FailoverClient5xx counts 5xx the router returned
+	// during the failover window (must be 0).
+	FailoverServedBy  string `json:"failover_served_by"`
+	FailoverCacheHit  bool   `json:"failover_cache_hit"`
+	FailoverClient5xx int64  `json:"failover_client_5xx"`
+
+	// ReplicatedRecords maps each replica to the count of WAL records it
+	// applied from its peers before measurement started.
+	ReplicatedRecords map[string]int64 `json:"replicated_records"`
+}
+
+// fleetMember is one in-process seedd replica: a serving stack with a
+// durable store, exposed on a loopback listener.
+type fleetMember struct {
+	srv *server.Server
+	hs  *http.Server
+	url string
+}
+
+// startFleet builds n replicated serving stacks. Listeners are bound
+// before any server starts so every member can be configured with its
+// peers' final URLs.
+func startFleet(n int, corpusSeed uint64, dir string) (members []*fleetMember, urls []string, stop func(), err error) {
+	lns := make([]net.Listener, n)
+	urls = make([]string, n)
+	for i := range lns {
+		if lns[i], err = net.Listen("tcp", "127.0.0.1:0"); err != nil {
+			for _, ln := range lns[:i] {
+				ln.Close()
+			}
+			return nil, nil, nil, err
+		}
+		urls[i] = "http://" + lns[i].Addr().String()
+	}
+	members = make([]*fleetMember, 0, n)
+	stop = func() {
+		for _, m := range members {
+			m.hs.Close()
+			m.srv.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		var peers []string
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		srv, err := server.New(server.Config{
+			Corpora:           []*dataset.Corpus{dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})},
+			Client:            llm.NewSimulator(),
+			Variant:           seed.VariantGPT,
+			BatchWindow:       2 * time.Millisecond,
+			BatchMax:          fleetConcurrency,
+			MaxInFlight:       1024,
+			RequestTimeout:    time.Minute,
+			StoreDir:          filepath.Join(dir, fmt.Sprintf("replica-%d", i)),
+			StoreSeed:         corpusSeed,
+			Peers:             peers,
+			ReplicateInterval: 25 * time.Millisecond,
+			Logger:            slog.New(slog.DiscardHandler),
+		})
+		if err != nil {
+			stop()
+			for _, ln := range lns[len(members):] {
+				ln.Close()
+			}
+			return nil, nil, nil, err
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(lns[i])
+		members = append(members, &fleetMember{srv: srv, hs: hs, url: urls[i]})
+	}
+	return members, urls, stop, nil
+}
+
+// startFleetRouter fronts the given replica URLs with a Router on a
+// loopback listener, tuned for fast failure detection (bench and CI runs
+// measure recovery, not steady state).
+func startFleetRouter(replicaURLs []string) (rt *fleet.Router, base string, stop func(), err error) {
+	rt, err = fleet.NewRouter(fleet.Config{
+		Replicas:       replicaURLs,
+		RequestTimeout: time.Minute,
+		AttemptTimeout: 10 * time.Second,
+		HedgeDelay:     50 * time.Millisecond,
+		BaseBackoff:    5 * time.Millisecond,
+		ProbeInterval:  100 * time.Millisecond,
+		Logger:         slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rt.Close()
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: rt.Handler()}
+	go hs.Serve(ln)
+	stop = func() {
+		hs.Close()
+		rt.Close()
+	}
+	return rt, "http://" + ln.Addr().String(), stop, nil
+}
+
+// waitReplicated blocks until every member's store holds at least want
+// records (its own shard plus everything shipped from its peers).
+func waitReplicated(members []*fleetMember, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		converged := true
+		for _, m := range members {
+			if st, ok := m.srv.Metrics().Store["bird"]; !ok || st.Records < want {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			counts := make([]int, len(members))
+			for i, m := range members {
+				counts[i] = m.srv.Metrics().Store["bird"].Records
+			}
+			return fmt.Errorf("replication did not converge to %d records within %v (per-replica: %v)", want, timeout, counts)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func writeFleetBench(path string, corpusSeed uint64) error {
+	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})
+	payloads := make([][]byte, 0, len(corpus.Dev))
+	for _, e := range corpus.Dev {
+		body, err := json.Marshal(server.QueryRequest{DB: e.DB, Question: e.Question})
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, body)
+	}
+	total := 2 * len(payloads)
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "fleetbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	report := fleetBenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		Seed:        corpusSeed,
+		FleetSize:   fleetSize,
+		Questions:   len(payloads),
+		Requests:    total,
+	}
+
+	// Regime 1: router fronting a single replica, warm cache — the routed
+	// single-node baseline and the denominator of the scaling ratio.
+	single, _, stopSingle, err := startFleet(1, corpusSeed, filepath.Join(dir, "single"))
+	if err != nil {
+		return err
+	}
+	_, singleBase, stopSingleRouter, err := startFleetRouter([]string{single[0].url})
+	if err != nil {
+		stopSingle()
+		return err
+	}
+	if _, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: singleBase, Payloads: payloads, Concurrency: 8,
+	}); err != nil {
+		stopSingleRouter()
+		stopSingle()
+		return err
+	}
+	report.SingleReplica, err = bestLoad(3, func() (*server.LoadReport, error) {
+		return server.RunLoad(ctx, server.LoadOptions{
+			BaseURL: singleBase, Payloads: payloads, Concurrency: fleetConcurrency, Total: total,
+		})
+	})
+	stopSingleRouter()
+	stopSingle()
+	if err != nil {
+		return err
+	}
+
+	// Regime 2: the full fleet. Warm every shard through the router, wait
+	// for WAL shipping to mirror every store, then measure.
+	members, urls, stopFleet, err := startFleet(fleetSize, corpusSeed, filepath.Join(dir, "fleet"))
+	if err != nil {
+		return err
+	}
+	defer stopFleet()
+	rt, base, stopRouter, err := startFleetRouter(urls)
+	if err != nil {
+		return err
+	}
+	defer stopRouter()
+	if _, err := server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: base, Payloads: payloads, Concurrency: 8,
+	}); err != nil {
+		return err
+	}
+	if err := waitReplicated(members, len(payloads), 30*time.Second); err != nil {
+		return err
+	}
+	report.ReplicatedRecords = make(map[string]int64, len(members))
+	for _, m := range members {
+		var applied int64
+		for _, ts := range m.srv.Metrics().Replication {
+			applied += ts.Applied
+		}
+		report.ReplicatedRecords[m.url] = applied
+	}
+	report.Fleet, err = bestLoad(3, func() (*server.LoadReport, error) {
+		return server.RunLoad(ctx, server.LoadOptions{
+			BaseURL: base, Payloads: payloads, Concurrency: fleetConcurrency, Total: total,
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if report.SingleReplica.QPS > 0 {
+		report.QPSScaling = report.Fleet.QPS / report.SingleReplica.QPS
+	}
+
+	// Regime 3: the same fleet behind fault-injecting proxies — every
+	// replica misbehaves a different way while a second router (it must
+	// learn the proxied URLs) carries the same load.
+	proxies := make([]*chaos.Proxy, len(members))
+	proxyURLs := make([]string, len(members))
+	for i, m := range members {
+		p, err := chaos.NewProxy(m.url)
+		if err != nil {
+			return err
+		}
+		defer p.Close()
+		proxies[i] = p
+		proxyURLs[i] = p.URL()
+	}
+	chaosRouter, chaosBase, stopChaosRouter, err := startFleetRouter(proxyURLs)
+	if err != nil {
+		return err
+	}
+	proxies[0].SpikeLatency(25*time.Millisecond, 3) // every 3rd response stalls
+	proxies[1].Burst5xx(25)                         // a burst of server errors
+	proxies[2].TruncateEvery(5)                     // every 5th body cut mid-flight
+	report.Chaos, err = server.RunLoad(ctx, server.LoadOptions{
+		BaseURL: chaosBase, Payloads: payloads, Concurrency: fleetConcurrency, Total: total,
+	})
+	chaosMetrics := chaosRouter.Metrics()
+	stopChaosRouter()
+	if err != nil {
+		return err
+	}
+	for _, p := range proxies {
+		report.ChaosInjectedFaults += p.Injected()
+		p.Reset()
+	}
+	report.ChaosRouter = chaosMetrics
+	report.ChaosClient5xx = chaosMetrics.ClientFivexx
+
+	// Regime 4: failover. Kill the replica that owns a known question's
+	// shard, then time how long until the router answers that question
+	// again — served by a successor, from replicated evidence.
+	ring := fleet.NewRing(urls, 0)
+	victimIdx := -1
+	var victimExample dataset.Example
+	for _, e := range corpus.Dev {
+		owner, _ := ring.Owner(fleet.ShardKey(e.DB, e.Question))
+		for i, u := range urls {
+			if u == owner && i != 0 { // keep member 0 alive to serve
+				victimIdx, victimExample = i, e
+				break
+			}
+		}
+		if victimIdx >= 0 {
+			break
+		}
+	}
+	if victimIdx < 0 {
+		return fmt.Errorf("no dev question maps to a killable replica")
+	}
+	fivexxBefore := rt.Metrics().ClientFivexx
+	members[victimIdx].hs.Close() // abrupt: in-flight connections die too
+
+	evBody, err := json.Marshal(server.QueryRequest{DB: victimExample.DB, Question: victimExample.Question})
+	if err != nil {
+		return err
+	}
+	killT0 := time.Now()
+	deadline := killT0.Add(5 * time.Second)
+	for {
+		resp, err := http.Post(base+"/v1/evidence", "application/json", bytes.NewReader(evBody))
+		if err != nil {
+			return err
+		}
+		var ev struct {
+			CacheHit bool `json:"evidence_cache_hit"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&ev)
+		resp.Body.Close()
+		if resp.StatusCode == 200 && decodeErr == nil {
+			report.FailoverTakeoverMs = float64(time.Since(killT0).Microseconds()) / 1000
+			report.FailoverServedBy = resp.Header.Get("X-Fleet-Replica")
+			report.FailoverCacheHit = ev.CacheHit
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shard did not fail over within 5s (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	report.FailoverClient5xx = rt.Metrics().ClientFivexx - fivexxBefore
+	if report.FailoverTakeoverMs > 0 {
+		report.Speedups.FailoverHeadroom = 5000 / report.FailoverTakeoverMs
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  routed single replica   %8.0f req/s (p50 %.0fus, p99 %.0fus)\n",
+		report.SingleReplica.QPS, report.SingleReplica.P50Micros, report.SingleReplica.P99Micros)
+	fmt.Printf("  routed fleet (n=%d)      %8.0f req/s (p50 %.0fus, p99 %.0fus)  scaling %.2fx\n",
+		fleetSize, report.Fleet.QPS, report.Fleet.P50Micros, report.Fleet.P99Micros, report.QPSScaling)
+	fmt.Printf("  fleet under chaos       %8.0f req/s (p99 %.0fus, %d faults injected, %d client 5xx)\n",
+		report.Chaos.QPS, report.Chaos.P99Micros, report.ChaosInjectedFaults, report.ChaosClient5xx)
+	fmt.Printf("  failover takeover       %8.1f ms (served by %s, cache hit %v, %d client 5xx, headroom %.0fx)\n",
+		report.FailoverTakeoverMs, report.FailoverServedBy, report.FailoverCacheHit,
+		report.FailoverClient5xx, report.Speedups.FailoverHeadroom)
+	return nil
+}
+

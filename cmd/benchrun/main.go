@@ -11,6 +11,7 @@
 //	benchrun -pipebench BENCH_pipeline.json    # emit the evidence-pipeline snapshot and exit
 //	benchrun -storebench BENCH_store.json      # emit the durability (warm-restart) snapshot and exit
 //	benchrun -scalebench BENCH_scale.json      # emit the scale snapshot (1k/100k/1M-row synthetic corpora) and exit
+//	benchrun -fleetbench BENCH_fleet.json      # emit the fleet fault-tolerance snapshot (QPS scaling, chaos, failover) and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -35,6 +36,7 @@ func main() {
 	pipeBench := flag.String("pipebench", "", "write the evidence-pipeline perf snapshot (cold sequential vs stage-DAG generation, partial-warm memo reuse) to this JSON file and exit")
 	storeBench := flag.String("storebench", "", "write the durability perf snapshot (cold vs steady vs warm-restart serving over the evidence store) to this JSON file and exit")
 	scaleBench := flag.String("scalebench", "", "write the scale perf snapshot (synthetic corpora at 1k/100k/1M rows: generation, engine planner on/off, serving QPS) to this JSON file and exit")
+	fleetBench := flag.String("fleetbench", "", "write the fleet fault-tolerance snapshot (routed QPS scaling 1 vs 3 replicas, p99 under injected chaos, failover takeover time) to this JSON file and exit")
 	storeDir := flag.String("store-dir", "", "durable evidence store directory for the experiment drivers (same layout as seedd -store-dir): repeat runs replay instead of regenerating")
 	flag.Parse()
 
@@ -69,6 +71,13 @@ func main() {
 	if *scaleBench != "" {
 		if err := writeScaleBench(*scaleBench, *seedFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "scalebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetBench != "" {
+		if err := writeFleetBench(*fleetBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "fleetbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -9,6 +9,8 @@
 //	seedd -addr 127.0.0.1:0 -addrfile /tmp/seedd.addr   # ephemeral port, address written to file
 //	seedd -corpus both -variant seed_deepseek -rate 500 -inflight 128
 //	seedd -store-dir /var/lib/seedd        # durable evidence: warm restarts
+//	seedd -addr 127.0.0.1:8081 -store-dir /var/lib/seedd-1 \
+//	      -peers http://127.0.0.1:8082,http://127.0.0.1:8083   # fleet member
 //
 // With -store-dir, every generated evidence entry is persisted
 // write-through to a crash-safe store (one subdirectory per corpus) and
@@ -17,9 +19,18 @@
 // /metrics reports the store counters (records, WAL size, replay time,
 // snapshot age).
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain (up to 5s), pending micro-batches flush, worker pools stop, and
-// the evidence store is flushed and closed.
+// With -peers, the daemon joins a fleet: it tails every peer's evidence
+// store over GET /v1/replicate (WAL shipping) into its own store and
+// serving cache, and serves its own WAL to them on the same endpoint. A
+// seedrouter in front shards questions across the fleet; when a replica
+// dies, the next replica on the ring already holds its shard's evidence
+// and serves it with zero LLM calls.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /healthz?ready
+// flips to 503 (draining) so routers take it out of rotation, the
+// -drain-grace period passes, in-flight requests drain (up to 5s),
+// pending micro-batches flush, worker pools stop, and the evidence store
+// is flushed and closed.
 package main
 
 import (
@@ -32,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +70,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 	storeDir := flag.String("store-dir", "", "durable evidence store directory: evidence survives restarts, replayed into the cache on startup (empty = in-memory only)")
 	storeCompact := flag.Int("store-compact", 0, "store WAL compaction threshold in records (0 = 1024, negative disables)")
+	peers := flag.String("peers", "", "comma-separated base URLs of the other fleet replicas; their evidence stores are tailed over /v1/replicate into this one (requires -store-dir)")
+	replicateEvery := flag.Duration("replicate-interval", 0, "peer WAL poll period (0 = 200ms)")
+	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "on SIGTERM/SIGINT, how long /healthz?ready advertises draining before the listener stops accepting")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	flag.Parse()
 
@@ -99,6 +114,8 @@ func main() {
 		StoreDir:          *storeDir,
 		StoreCompactEvery: *storeCompact,
 		StoreSeed:         *seedFlag,
+		Peers:             splitPeers(*peers),
+		ReplicateInterval: *replicateEvery,
 		Logger:            log,
 	})
 	if err != nil {
@@ -138,11 +155,35 @@ func main() {
 			os.Exit(1)
 		}
 	case s := <-sig:
-		log.Info("shutting down", "signal", s.String())
+		// Graceful drain: advertise not-ready first so a fleet router
+		// stops sending new work, give it a grace period to notice, then
+		// stop the listener (finishing in-flight requests), and finally
+		// let the deferred srv.Close flush the stores. A second signal
+		// during the drain skips straight to shutdown.
+		log.Info("draining", "signal", s.String(), "grace", (*drainGrace).String())
+		srv.SetDraining(true)
+		select {
+		case <-time.After(*drainGrace):
+		case s2 := <-sig:
+			log.Info("second signal, skipping drain grace", "signal", s2.String())
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
 			log.Warn("forced shutdown", "err", err)
 		}
+		log.Info("drained")
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs, empties
+// and surrounding whitespace dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
 }

@@ -1,0 +1,135 @@
+// Command seedrouter is the fleet front tier: it shards /v1/query and
+// /v1/evidence across a set of seedd replicas by consistent hash of
+// (db, question), health-probes the fleet, retries and hedges around
+// failures, and honors replica backpressure (Retry-After on 429/503).
+//
+// Usage:
+//
+//	seedrouter -replicas http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083
+//	seedrouter -addr 127.0.0.1:0 -addrfile /tmp/seedrouter.addr -replicas ...
+//	seedrouter -replicas ... -hedge 100ms -probe-interval 250ms
+//
+// The routed API is a superset of seedd's client API:
+//
+//	POST /v1/query, /v1/evidence   -> sharded by (db, question)
+//	GET  /v1/dbs, /v1/examples     -> any replica (round-robin)
+//	GET  /v1/route?db=&question=   -> shard owner + failover order (debug)
+//	GET  /healthz[?ready]          -> router liveness / fleet readiness
+//	GET  /metrics                  -> routing counters + per-replica state
+//
+// Pair each replica with -peers (WAL-shipping replication) and a killed
+// replica's shard is served by its ring successor from already-replicated
+// evidence — zero LLM calls, zero client 5xx.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+	addrFile := flag.String("addrfile", "", "write the bound address to this file once listening")
+	replicas := flag.String("replicas", "", "comma-separated seedd base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default)")
+	maxAttempts := flag.Int("max-attempts", 0, "max backend attempts per client request (0 = max(3, replica count))")
+	timeout := flag.Duration("timeout", 30*time.Second, "end-to-end client deadline across all attempts")
+	attemptTimeout := flag.Duration("attempt-timeout", 10*time.Second, "per-backend-attempt deadline")
+	hedge := flag.Duration("hedge", 250*time.Millisecond, "wait this long on an attempt before racing the next ring replica")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "replica health-probe period (0 disables probing)")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "health-probe round-trip deadline")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that eject a replica (0 = default 5)")
+	breakerProbation := flag.Duration("breaker-probation", 0, "initial ejection duration, doubling while flapping (0 = default 1s)")
+	quiet := flag.Bool("quiet", false, "suppress per-request logs")
+	flag.Parse()
+
+	logLevel := slog.LevelInfo
+	if *quiet {
+		logLevel = slog.LevelWarn
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: logLevel}))
+
+	urls := splitURLs(*replicas)
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "seedrouter: -replicas is required (comma-separated seedd base URLs)")
+		os.Exit(2)
+	}
+
+	rt, err := fleet.NewRouter(fleet.Config{
+		Replicas:         urls,
+		VirtualNodes:     *vnodes,
+		MaxAttempts:      *maxAttempts,
+		RequestTimeout:   *timeout,
+		AttemptTimeout:   *attemptTimeout,
+		HedgeDelay:       *hedge,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerProbation: *breakerProbation,
+		Logger:           log,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("seedrouter listening on http://%s (%d replicas)\n", bound, len(urls))
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	hs := &http.Server{Handler: rt.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		log.Info("shutting down", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Warn("forced shutdown", "err", err)
+		}
+	}
+}
+
+// splitURLs parses the -replicas flag: comma-separated base URLs, empties
+// and surrounding whitespace dropped, trailing slashes trimmed.
+func splitURLs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}

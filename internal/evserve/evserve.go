@@ -151,6 +151,7 @@ type Service struct {
 	restored     int64 // entries replayed from the store at New; written once, read by Stats
 	storeAppends atomic.Int64
 	storeErrors  atomic.Int64
+	injected     atomic.Int64
 
 	batchCalls    atomic.Int64
 	batchRequests atomic.Int64
@@ -313,6 +314,27 @@ func (s *Service) GenerateTraced(ctx context.Context, db, question string) (Evid
 	return Evidence{Text: v.Evidence, Trace: v.Trace}, nil
 }
 
+// Inject lands an externally produced entry (typically one replicated
+// from a fleet peer's store) directly in the cache, so a follower serves
+// its dead peer's shard from memory without a single generation. Entries
+// of other variants are skipped — same rule as the startup replay: this
+// service could never look their keys up, so caching them would only
+// evict its own. Inject does not persist; replication owns durability.
+// It reports whether the entry was cached.
+func (s *Service) Inject(k Key, e Entry) bool {
+	if k.Variant != s.opts.Variant || s.cache == nil {
+		return false
+	}
+	select {
+	case <-s.done:
+		return false
+	default:
+	}
+	s.cache.Put(k, e)
+	s.injected.Add(1)
+	return true
+}
+
 // GenerateAll runs a batch of requests through the bounded worker pool and
 // returns one Result per request, in submission order. Cancelling ctx stops
 // submission and fails queued-but-unstarted requests with ctx.Err();
@@ -421,6 +443,9 @@ type Stats struct {
 	// failed. Store failures never fail requests; this counter is how
 	// they surface.
 	StoreErrors int64
+	// Injected counts entries landed in the cache via Inject (fleet
+	// replication); 0 outside a fleet.
+	Injected int64
 	// Stages aggregates the per-stage provenance traces of every traced
 	// generation: count, memo hits, wall time and token spend per
 	// pipeline stage. Empty when the wrapped generator is untraced.
@@ -463,6 +488,7 @@ func (s *Service) Stats() Stats {
 		Restored:       s.restored,
 		StoreAppends:   s.storeAppends.Load(),
 		StoreErrors:    s.storeErrors.Load(),
+		Injected:       s.injected.Load(),
 		Stages:         s.stages.Snapshot(),
 	}
 	if s.cache != nil {

@@ -137,6 +137,22 @@ type Store struct {
 	// WAL tail back to a record boundary.
 	walValidLen int64
 
+	// walGen identifies the current WAL byte stream for replication: a
+	// follower's byte offset is only meaningful against the generation it
+	// was read from. Open stamps a fresh generation and every rotation
+	// (compaction) bumps it, so a follower holding offsets into a file
+	// that no longer exists detects the fact and resyncs from a full dump
+	// instead of misreading reused offsets.
+	walGen int64
+	// walWritten counts bytes accepted into the current WAL (including
+	// bytes still in the bufio buffer); walBytes counts bytes flushed to
+	// the OS — the replication-visible prefix. ReplicationRead never
+	// serves past walBytes, because buffered bytes can still be lost to a
+	// crash and a follower must not get ahead of the leader's own
+	// durability.
+	walWritten int64
+	walBytes   int64
+
 	// compacting marks a background compaction in flight; compactDone is
 	// that compaction's completion latch, non-nil exactly while one runs.
 	// A channel per generation (rather than one reused WaitGroup) lets
@@ -255,6 +271,14 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	s.wal = f
 	s.w = bufio.NewWriter(f)
+	// The WAL now ends exactly at walValidLen (the corrupt tail, if any,
+	// was truncated above). Replication offsets start there, under a fresh
+	// generation: offsets handed out by a previous process are invalid —
+	// the torn tail may have moved the boundary — so followers of the old
+	// generation full-resync rather than resume.
+	s.walGen = time.Now().UnixNano()
+	s.walWritten = s.walValidLen
+	s.walBytes = s.walValidLen
 	if opts.Sync {
 		// Cover the WAL's own directory entry when Open just created it.
 		if err := syncDir(dir); err != nil {
@@ -400,6 +424,7 @@ func (s *Store) Append(k evserve.Key, e evserve.Entry) error {
 	if _, err := s.w.Write(line); err != nil {
 		return fmt.Errorf("evstore: %w", err)
 	}
+	s.walWritten += int64(len(line))
 	s.records[k] = e
 	s.appends++
 	s.walRecords++
@@ -488,6 +513,7 @@ func (s *Store) flushLocked() error {
 		return fmt.Errorf("evstore: %w", err)
 	}
 	s.pending = 0
+	s.walBytes = s.walWritten
 	if s.opts.Sync {
 		if err := s.wal.Sync(); err != nil {
 			return fmt.Errorf("evstore: %w", err)
@@ -603,6 +629,13 @@ func (s *Store) beginCompactionLocked() (map[evserve.Key]evserve.Entry, chan str
 	}
 	s.pending = 0
 	s.walRecords = 0
+	// The WAL byte stream just changed identity (emptied in place or
+	// replaced by a fresh file): retire the replication generation so
+	// follower offsets into the old stream full-resync instead of reading
+	// new bytes at stale positions.
+	s.walGen = time.Now().UnixNano()
+	s.walWritten = 0
+	s.walBytes = 0
 	staged := make(map[evserve.Key]evserve.Entry, len(s.records))
 	for k, e := range s.records {
 		staged[k] = e
@@ -726,6 +759,16 @@ func (s *Store) Close() error {
 		err = cerr
 	}
 	return err
+}
+
+// Get returns the live entry for a key, if any. Replication uses it to
+// detect records a follower already holds (full-mesh shipping would
+// otherwise echo every record back and forth forever).
+func (s *Store) Get(k evserve.Key) (evserve.Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.records[k]
+	return e, ok
 }
 
 // Len returns the number of live entries (latest per key).

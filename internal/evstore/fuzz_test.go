@@ -1,8 +1,12 @@
 package evstore
 
 import (
+	"context"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"repro/internal/evserve"
@@ -101,6 +105,102 @@ func FuzzReplayFrame(f *testing.F) {
 		}
 		if !got {
 			t.Fatal("append made before the clean close did not survive reopen")
+		}
+	})
+}
+
+// FuzzTailerStream feeds arbitrary bytes to a follower as a replication
+// response body — modeling a leader behind a hostile network (truncations,
+// flipped bits, duplicated frames, outright garbage) — and checks the
+// replication safety contract:
+//
+//   - Poll never panics, whatever the peer sends;
+//   - only CRC-valid frames reach the follower's store, and an identical
+//     frame delivered twice is applied once (no double-apply);
+//   - the follower's own WAL stays clean: a reopen drops nothing, so
+//     network damage never became disk damage.
+func FuzzTailerStream(f *testing.F) {
+	a := fuzzFrame("replicated question one", "evidence one")
+	b := fuzzFrame("replicated question two", "evidence two")
+
+	f.Add([]byte{}, false)
+	f.Add(append(append([]byte{}, a...), b...), false)
+	// Torn tail: the second frame lost its last bytes mid-flight.
+	f.Add(append(append([]byte{}, a...), b[:len(b)-5]...), false)
+	// Duplicate frames: the same record delivered twice in one body.
+	f.Add(append(append([]byte{}, a...), a...), false)
+	// CRC flip inside the payload.
+	flipped := append([]byte{}, a...)
+	flipped[20] ^= 0x40
+	f.Add(flipped, false)
+	// Valid frame, garbage, valid frame — only the prefix may apply.
+	mid := append(append([]byte{}, a...), 0xff, 0x00, '\n')
+	f.Add(append(mid, b...), false)
+	// The same bodies served as full dumps.
+	f.Add(append(append([]byte{}, a...), b...), true)
+	f.Add(append(append([]byte{}, a...), a...), true)
+
+	f.Fuzz(func(t *testing.T, body []byte, full bool) {
+		dir := t.TempDir()
+		follower, err := Open(dir, Options{CompactEvery: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			h := w.Header()
+			h.Set(HeaderReplicateGen, "12345")
+			h.Set(HeaderReplicateNext, strconv.Itoa(len(body)))
+			h.Set(HeaderReplicateLen, strconv.Itoa(len(body)))
+			if full {
+				h.Set(HeaderReplicateFull, "1")
+			}
+			_, _ = w.Write(body)
+		}))
+		defer srv.Close()
+
+		tl := NewTailer(srv.URL, follower, TailerOptions{})
+		// Poll twice: the second delivery of the same bytes must dedup
+		// against the first, not double-apply.
+		if _, err := tl.Poll(context.Background()); err != nil {
+			t.Fatalf("first poll errored on hostile bytes: %v", err)
+		}
+		tl.mu.Lock()
+		tl.gen, tl.next = 0, 0 // replay the identical body from scratch
+		tl.mu.Unlock()
+		if _, err := tl.Poll(context.Background()); err != nil {
+			t.Fatalf("second poll errored on hostile bytes: %v", err)
+		}
+
+		// Every applied record must correspond to a valid frame in the
+		// body, and re-delivery must not have double-applied any of them.
+		validFrames := 0
+		uniq := make(map[evserve.Key]bool)
+		scanFrames(body, func(rec record) {
+			validFrames++
+			uniq[evserve.Key{DB: rec.DB, Variant: rec.Variant, QHash: rec.QHash}] = true
+		})
+		st := tl.Stats()
+		if int(st.Applied) > validFrames {
+			t.Fatalf("applied %d records from a body holding %d valid frames", st.Applied, validFrames)
+		}
+		if follower.Len() > len(uniq) {
+			t.Fatalf("store holds %d keys from a body holding %d distinct valid keys", follower.Len(), len(uniq))
+		}
+
+		if err := follower.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(dir, Options{CompactEvery: -1})
+		if err != nil {
+			t.Fatalf("follower unopenable after hostile replication: %v", err)
+		}
+		defer re.Close()
+		if re.Stats().TailDropped != 0 {
+			t.Fatalf("hostile network bytes reached the follower's WAL: %d frames dropped on reopen", re.Stats().TailDropped)
+		}
+		if re.Len() != follower.Len() {
+			t.Fatalf("follower lost records across reopen: %d then %d", follower.Len(), re.Len())
 		}
 	})
 }

@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// The breaker tests drive time explicitly — no sleeps, no flakes.
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, time.Second, 0)
+	for i := 0; i < 2; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(false, now)
+	}
+	// A success between failures resets the consecutive count: only
+	// *consecutive* failures signal a broken replica, not background noise.
+	b.Record(true, now)
+	for i := 0; i < 2; i++ {
+		b.Record(false, now)
+	}
+	if state, _ := b.State(now); state != "closed" {
+		t.Fatalf("breaker tripped on interleaved failures (state %s)", state)
+	}
+	b.Record(false, now)
+	if state, trips := b.State(now); state != "open" || trips != 1 {
+		t.Fatalf("state %s trips %d after 3 consecutive failures, want open/1", state, trips)
+	}
+	if b.Allow(now) {
+		t.Fatal("open breaker admitted a request")
+	}
+}
+
+func TestBreakerProbationProbeAndReadmission(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, time.Second, 0)
+	b.Record(false, now)
+	if b.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("breaker admitted a request during probation")
+	}
+	probeAt := now.Add(1100 * time.Millisecond)
+	if !b.Allow(probeAt) {
+		t.Fatal("breaker refused the probe after probation expired")
+	}
+	// Exactly one probe: concurrent callers must not stampede a replica
+	// that just came back.
+	if b.Allow(probeAt) {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	b.Record(true, probeAt)
+	if state, _ := b.State(probeAt); state != "closed" {
+		t.Fatalf("probe success left state %s, want closed", state)
+	}
+	if !b.Allow(probeAt) {
+		t.Fatal("re-admitted replica refused a request")
+	}
+}
+
+func TestBreakerFlappingDoublesProbation(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, time.Second, 4*time.Second)
+	b.Record(false, now) // trip #1: probation 1s
+
+	// Probe fails: probation doubles to 2s.
+	now = now.Add(1100 * time.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("probe refused")
+	}
+	b.Record(false, now)
+	if b.Allow(now.Add(1500 * time.Millisecond)) {
+		t.Fatal("flapping replica re-admitted before doubled probation expired")
+	}
+	// Probe fails again: 4s (the cap).
+	now = now.Add(2100 * time.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("second probe refused")
+	}
+	b.Record(false, now)
+	if b.Allow(now.Add(3900 * time.Millisecond)) {
+		t.Fatal("re-admitted before capped probation expired")
+	}
+	// Cap holds: the next doubling would be 8s, but maxProbation pins 4s.
+	now = now.Add(4100 * time.Millisecond)
+	if !b.Allow(now) {
+		t.Fatal("probe after capped probation refused")
+	}
+	b.Record(false, now)
+	if !b.Allow(now.Add(4100 * time.Millisecond)) {
+		t.Fatal("probation exceeded the configured cap")
+	}
+
+	// A probe success resets probation back to the base, so a healed
+	// replica is not stuck with its flapping history.
+	b.Record(true, now.Add(4100*time.Millisecond))
+	now = now.Add(5 * time.Second)
+	b.Record(false, now)
+	if b.Allow(now.Add(500 * time.Millisecond)) {
+		t.Fatal("probation did not apply after reset")
+	}
+	if !b.Allow(now.Add(1100 * time.Millisecond)) {
+		t.Fatal("probation did not reset to base after a healthy stretch")
+	}
+}
+
+func TestBreakerForceOpen(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(5, time.Second, 0)
+	b.ForceOpen(now)
+	if b.Allow(now) {
+		t.Fatal("force-opened breaker admitted a request")
+	}
+	if state, trips := b.State(now); state != "open" || trips != 1 {
+		t.Fatalf("state %s trips %d after ForceOpen, want open/1", state, trips)
+	}
+	// Repeat ForceOpen while open is a no-op, not another trip.
+	b.ForceOpen(now)
+	if _, trips := b.State(now); trips != 1 {
+		t.Fatalf("repeat ForceOpen counted %d trips, want 1", trips)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"math"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,7 +78,10 @@ func (a *admission) admit() (release func(), status int, retryAfter time.Duratio
 		ok, wait := a.bucket.take(time.Now())
 		if !ok {
 			a.rateLimited.Add(1)
-			return nil, 429, wait
+			// The token time is exact but every starved client computes the
+			// same one; jitter spreads their retries so the refilled token
+			// is not stampeded.
+			return nil, 429, jitterRetry(wait)
 		}
 	}
 	if a.slots != nil {
@@ -86,8 +90,12 @@ func (a *admission) admit() (release func(), status int, retryAfter time.Duratio
 		default:
 			a.overloaded.Add(1)
 			// The queue is full of in-flight work; suggest retrying after
-			// roughly one typical request's worth of backoff.
-			return nil, 503, 250 * time.Millisecond
+			// roughly one typical request's worth of backoff. Unlike the
+			// rate limiter there is no exact time to compute — a slot frees
+			// whenever some request finishes — so the jitter does double
+			// duty: it spreads retries AND decorrelates clients that were
+			// all rejected by the same full queue.
+			return nil, 503, jitterRetry(250 * time.Millisecond)
 		}
 	}
 	a.admitted.Add(1)
@@ -101,6 +109,16 @@ func (a *admission) admit() (release func(), status int, retryAfter time.Duratio
 			}
 		})
 	}, 0, 0
+}
+
+// jitterRetry spreads a nominal Retry-After hint over [d, 1.5d): never
+// earlier than the base (a 429's token genuinely does not exist before
+// then), up to half again later so simultaneous rejects decorrelate.
+func jitterRetry(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d + time.Duration(rand.Int64N(int64(d/2+1)))
 }
 
 // AdmissionStats is the /metrics view of the admission controller.

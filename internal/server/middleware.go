@@ -63,6 +63,10 @@ func (s *Server) wrap(route string, admit bool, h http.HandlerFunc) http.Handler
 					secs = 1
 				}
 				rec.Header().Set("Retry-After", fmt.Sprint(secs))
+				// Whole seconds is far too coarse for an intra-fleet hop
+				// whose real backoff is tens of milliseconds; the router
+				// reads this millisecond-resolution twin instead.
+				rec.Header().Set("X-Retry-After-Ms", fmt.Sprint(retryAfter.Milliseconds()))
 				msg := "rate limit exceeded"
 				if status == http.StatusServiceUnavailable {
 					msg = "server at capacity"

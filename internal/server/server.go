@@ -24,14 +24,17 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"path/filepath"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dataset"
@@ -96,6 +99,16 @@ type Config struct {
 	// a store stamped differently refuses to open — evidence from another
 	// generation would be served as stale cache hits.
 	StoreSeed uint64
+	// Peers are the base URLs of the other seedd replicas in the fleet.
+	// When non-empty (requires StoreDir), the server tails every peer's
+	// per-corpus evidence store over GET /v1/replicate and injects the
+	// replicated entries into its own stores and serving caches — so when
+	// the fleet router fails a dead peer's shard over to this replica, it
+	// answers from already-shipped evidence with zero LLM calls.
+	Peers []string
+	// ReplicateInterval is the peer WAL poll period; <= 0 uses the
+	// evstore tailer default (200ms).
+	ReplicateInterval time.Duration
 	// Logger receives structured request logs; nil uses slog.Default().
 	Logger *slog.Logger
 }
@@ -118,7 +131,26 @@ type Server struct {
 	routes map[string]*routeMetrics
 	start  time.Time
 
+	// draining flips /healthz?ready to 503 while the server finishes
+	// in-flight work — the router stops sending new requests here, but
+	// liveness (plain /healthz) and replication stay up so peers can
+	// finish tailing this replica's WAL.
+	draining atomic.Bool
+
+	// tailers replicate peer stores (one stream per corpus per peer);
+	// tailCancel/tailWG stop them on Close before the stores close.
+	tailers    []replStream
+	tailCancel context.CancelFunc
+	tailWG     sync.WaitGroup
+
 	closeOnce sync.Once
+}
+
+// replStream is one peer replication stream for metrics labeling.
+type replStream struct {
+	corpus string
+	peer   string
+	tailer *evstore.Tailer
 }
 
 // New builds the serving subsystem: one seed pipeline + evidence service +
@@ -217,8 +249,36 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.reg = reg
 
+	if len(cfg.Peers) > 0 {
+		if cfg.StoreDir == "" {
+			s.Close()
+			return nil, errors.New("server: Config.Peers requires Config.StoreDir — replication ships durable stores, not caches")
+		}
+		var tailCtx context.Context
+		tailCtx, s.tailCancel = context.WithCancel(context.Background())
+		for name, store := range s.stores {
+			svc := s.services[name]
+			for _, peer := range cfg.Peers {
+				src := peer + pathReplicate + "?corpus=" + url.QueryEscape(name)
+				tl := evstore.NewTailer(src, store, evstore.TailerOptions{
+					Interval: cfg.ReplicateInterval,
+					// Replicated evidence goes straight into the serving
+					// cache: a shard failed over to this replica is answered
+					// from memory, not just from disk on the next restart.
+					Apply: func(k evserve.Key, e evserve.Entry) { svc.Inject(k, e) },
+				})
+				s.tailers = append(s.tailers, replStream{corpus: name, peer: peer, tailer: tl})
+				s.tailWG.Add(1)
+				go func() {
+					defer s.tailWG.Done()
+					tl.Run(tailCtx)
+				}()
+			}
+		}
+	}
+
 	for _, route := range []string{
-		pathQuery, pathEvidence, pathDBs, pathExamples, pathHealthz, pathMetrics,
+		pathQuery, pathEvidence, pathDBs, pathExamples, pathReplicate, pathHealthz, pathMetrics,
 	} {
 		s.routes[route] = newRouteMetrics()
 	}
@@ -227,12 +287,13 @@ func New(cfg Config) (*Server, error) {
 
 // Route names; also the keys of the /metrics routes map.
 const (
-	pathQuery    = "/v1/query"
-	pathEvidence = "/v1/evidence"
-	pathDBs      = "/v1/dbs"
-	pathExamples = "/v1/examples"
-	pathHealthz  = "/healthz"
-	pathMetrics  = "/metrics"
+	pathQuery     = "/v1/query"
+	pathEvidence  = "/v1/evidence"
+	pathDBs       = "/v1/dbs"
+	pathExamples  = "/v1/examples"
+	pathReplicate = "/v1/replicate"
+	pathHealthz   = "/healthz"
+	pathMetrics   = "/metrics"
 )
 
 // Handler returns the server's HTTP handler with all middleware applied.
@@ -242,17 +303,36 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST "+pathEvidence, s.wrap(pathEvidence, true, s.handleEvidence))
 	mux.Handle("GET "+pathDBs, s.wrap(pathDBs, false, s.handleDBs))
 	mux.Handle("GET "+pathExamples, s.wrap(pathExamples, false, s.handleExamples))
+	// Replication skips admission: a draining or overloaded replica must
+	// still let its followers catch up on the WAL.
+	mux.Handle("GET "+pathReplicate, s.wrap(pathReplicate, false, s.handleReplicate))
 	mux.Handle("GET "+pathHealthz, s.wrap(pathHealthz, false, s.handleHealthz))
 	mux.Handle("GET "+pathMetrics, s.wrap(pathMetrics, false, s.handleMetrics))
 	return mux
 }
 
-// Close flushes pending micro-batches, stops the evidence worker pools
-// (each service flushes its store after its pool drains), and closes the
-// evidence stores. It is idempotent, and safe to race with in-flight
-// requests: they fail with evserve.ErrClosed rather than hang.
+// SetDraining flips the readiness verdict: while draining, GET
+// /healthz?ready answers 503 (the fleet router routes around this
+// replica) but liveness, serving of in-flight work, and replication all
+// continue. seedd sets it on SIGTERM, waits a grace period for routers to
+// notice, then shuts the listener down.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the current drain state.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close stops the peer replication tailers, flushes pending
+// micro-batches, stops the evidence worker pools (each service flushes
+// its store after its pool drains), and closes the evidence stores. It is
+// idempotent, and safe to race with in-flight requests: they fail with
+// evserve.ErrClosed rather than hang.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		// Tailers first: they append to the stores, which close below.
+		if s.tailCancel != nil {
+			s.tailCancel()
+		}
+		s.tailWG.Wait()
 		for _, b := range s.batchers {
 			b.Flush()
 		}
@@ -530,9 +610,44 @@ func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleReplicate serves one corpus's WAL to a fleet follower: GET
+// /v1/replicate?corpus=<name>&gen=<gen>&from=<offset>. With exactly one
+// corpus loaded the corpus parameter may be omitted.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if len(s.stores) == 0 {
+		writeError(w, http.StatusNotFound, "replication requires a durable store (-store-dir)")
+		return
+	}
+	corpus := r.URL.Query().Get("corpus")
+	if corpus == "" && len(s.stores) == 1 {
+		for name := range s.stores {
+			corpus = name
+		}
+	}
+	store, ok := s.stores[corpus]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown corpus %q", corpus))
+		return
+	}
+	store.ServeReplication(w, r)
+}
+
+// handleHealthz is the liveness/readiness split: a plain GET /healthz
+// answers 200 while the process serves at all; GET /healthz?ready answers
+// 503 while draining, so a fleet router takes the replica out of rotation
+// before its listener goes away.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.draining.Load()
+	if r.URL.Query().Has("ready") && draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":         "draining",
+			"uptime_seconds": time.Since(s.start).Seconds(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":          "ok",
+		"draining":        draining,
 		"uptime_seconds":  time.Since(s.start).Seconds(),
 		"databases":       len(s.reg.DBNames()),
 		"sessions_loaded": s.reg.Loaded(),
@@ -562,6 +677,11 @@ type MetricsSnapshot struct {
 	// (records, WAL size, compactions, replay time, snapshot age);
 	// omitted when the server runs without -store-dir.
 	Store map[string]evstore.Stats `json:"store,omitempty"`
+	// Replication holds one tailer snapshot per peer stream, keyed
+	// "corpus<-peerURL"; omitted outside a fleet (-peers unset).
+	Replication map[string]evstore.TailerStats `json:"replication,omitempty"`
+	// Draining reports the shutdown drain state (see SetDraining).
+	Draining bool `json:"draining,omitempty"`
 }
 
 // EvidenceSnapshot is the /metrics view of one corpus evidence service.
@@ -581,6 +701,9 @@ type EvidenceSnapshot struct {
 	Restored     int64 `json:"restored,omitempty"`
 	StoreAppends int64 `json:"store_appends,omitempty"`
 	StoreErrors  int64 `json:"store_errors,omitempty"`
+	// Injected counts cache entries landed by fleet replication; zero
+	// outside a fleet.
+	Injected int64 `json:"injected,omitempty"`
 	// Stages aggregates per-stage pipeline cost across every traced
 	// generation: runs, memo hits, wall time and tokens per DAG stage.
 	Stages []pipeline.StageAgg `json:"stages,omitempty"`
@@ -615,6 +738,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 			Restored:     st.Restored,
 			StoreAppends: st.StoreAppends,
 			StoreErrors:  st.StoreErrors,
+			Injected:     st.Injected,
 			Stages:       st.Stages,
 		}
 		if probes := st.Cache.Hits + st.Cache.Misses; probes > 0 {
@@ -631,6 +755,13 @@ func (s *Server) Metrics() MetricsSnapshot {
 			snap.Store[name] = st.Stats()
 		}
 	}
+	if len(s.tailers) > 0 {
+		snap.Replication = make(map[string]evstore.TailerStats, len(s.tailers))
+		for _, rs := range s.tailers {
+			snap.Replication[rs.corpus+"<-"+rs.peer] = rs.tailer.Stats()
+		}
+	}
+	snap.Draining = s.draining.Load()
 	for name, corpus := range s.corpora {
 		var agg sqlengine.PlanCacheStats
 		for _, db := range corpus.DBs {
