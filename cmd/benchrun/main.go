@@ -12,6 +12,7 @@
 //	benchrun -storebench BENCH_store.json      # emit the durability (warm-restart) snapshot and exit
 //	benchrun -scalebench BENCH_scale.json      # emit the scale snapshot (1k/100k/1M-row synthetic corpora) and exit
 //	benchrun -fleetbench BENCH_fleet.json      # emit the fleet fault-tolerance snapshot (QPS scaling, chaos, failover) and exit
+//	benchrun -obsbench BENCH_obs.json          # emit the observability snapshot (tracing on/off overhead, routed-trace coverage) and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -37,6 +38,7 @@ func main() {
 	storeBench := flag.String("storebench", "", "write the durability perf snapshot (cold vs steady vs warm-restart serving over the evidence store) to this JSON file and exit")
 	scaleBench := flag.String("scalebench", "", "write the scale perf snapshot (synthetic corpora at 1k/100k/1M rows: generation, engine planner on/off, serving QPS) to this JSON file and exit")
 	fleetBench := flag.String("fleetbench", "", "write the fleet fault-tolerance snapshot (routed QPS scaling 1 vs 3 replicas, p99 under injected chaos, failover takeover time) to this JSON file and exit")
+	obsBench := flag.String("obsbench", "", "write the observability snapshot (serving QPS with tracing+metrics on vs off, routed-trace span coverage) to this JSON file and exit")
 	storeDir := flag.String("store-dir", "", "durable evidence store directory for the experiment drivers (same layout as seedd -store-dir): repeat runs replay instead of regenerating")
 	flag.Parse()
 
@@ -78,6 +80,13 @@ func main() {
 	if *fleetBench != "" {
 		if err := writeFleetBench(*fleetBench, *seedFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "fleetbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsBench != "" {
+		if err := writeObsBench(*obsBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "obsbench: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/fleet"
+	"repro/internal/llm"
+	"repro/internal/obs"
+	"repro/internal/seed"
+	"repro/internal/server"
+)
+
+// The -obsbench mode: proves the observability layer is affordable and
+// actually wired end to end. Two measurements:
+//
+//   - Overhead: warm batched /v1/query QPS with tracing + metrics + the
+//     slow-query log fully on, versus the same server with tracing
+//     disabled (TraceCapacity < 0, no slow threshold). The gated ratio
+//     speedup_obs_enabled_vs_disabled must stay >= 0.95 — full-on
+//     observability may cost at most 5% of throughput.
+//
+//   - Coverage: one query routed through a real fleet.Router into the
+//     replica, then the trace fetched back via GET /v1/traces/{id} using
+//     the response's X-Trace-Id. The report records which spans the trace
+//     contains (router forward, admission, batcher wait, evidence DAG
+//     stages, engine prepare/execute) as booleans CI asserts with jq.
+
+// obsBenchReport is the BENCH_obs.json schema.
+type obsBenchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Seed        uint64 `json:"seed"`
+	// Questions is the distinct question count replayed; Requests the
+	// request count per measured regime.
+	Questions int `json:"questions"`
+	Requests  int `json:"requests"`
+	// Disabled is warm batched serving with tracing off (the baseline);
+	// Enabled is the same load with tracing, metrics and the slow-query
+	// log fully on.
+	Disabled *server.LoadReport `json:"served_obs_disabled"`
+	Enabled  *server.LoadReport `json:"served_obs_enabled"`
+	// SpeedupObsEnabledVsDisabled is Enabled.QPS / Disabled.QPS — the
+	// gated number: full observability must retain >= 95% of the
+	// uninstrumented throughput. ("speedup" in the key keeps it under the
+	// benchcheck regression gate.)
+	SpeedupObsEnabledVsDisabled float64 `json:"speedup_obs_enabled_vs_disabled"`
+	// TracesRetained is the replica's /v1/traces population after the
+	// enabled run — proof the ring retained work under load.
+	TracesRetained int `json:"traces_retained"`
+	// Coverage is the routed-trace span coverage check.
+	Coverage obsCoverage `json:"routed_trace_coverage"`
+}
+
+// obsCoverage reports which spans one routed query's trace contained.
+type obsCoverage struct {
+	TraceID string `json:"trace_id"`
+	Spans   int    `json:"spans"`
+	// The booleans CI asserts: every layer of the request path must have
+	// recorded itself into the one trace.
+	RouterForward  bool `json:"router_forward"`
+	Admission      bool `json:"admission"`
+	BatcherWait    bool `json:"batcher_wait"`
+	EvidenceStages int  `json:"evidence_stages"`
+	EnginePrepare  bool `json:"engine_prepare"`
+	EngineExecute  bool `json:"engine_execute"`
+}
+
+// startObsServer stands up a batched serving stack with observability on
+// or off, on a loopback ephemeral port.
+func startObsServer(corpusSeed uint64, enabled bool) (srv *server.Server, base string, stop func(), err error) {
+	traceCapacity := -1
+	var slowThreshold time.Duration
+	if enabled {
+		traceCapacity = 0 // default 256
+		// An outlier threshold, not a median one: a slow log that fires on
+		// every request measures the log, not the serving path.
+		slowThreshold = 25 * time.Millisecond
+	}
+	srv, err = server.New(server.Config{
+		Corpora:            []*dataset.Corpus{dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})},
+		Client:             llm.NewSimulator(),
+		Variant:            seed.VariantGPT,
+		BatchWindow:        2 * time.Millisecond,
+		BatchMax:           16,
+		MaxInFlight:        1024,
+		RequestTimeout:     time.Minute,
+		TraceCapacity:      traceCapacity,
+		SlowQueryThreshold: slowThreshold,
+		Logger:             slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return srv, "http://" + ln.Addr().String(), func() {
+		hs.Close()
+		srv.Close()
+	}, nil
+}
+
+func writeObsBench(path string, corpusSeed uint64) error {
+	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})
+	payloads := make([][]byte, 0, len(corpus.Dev))
+	for _, e := range corpus.Dev {
+		body, err := json.Marshal(server.QueryRequest{DB: e.DB, Question: e.Question})
+		if err != nil {
+			return err
+		}
+		payloads = append(payloads, body)
+	}
+	const concurrency = 16
+	total := 4 * len(payloads)
+	ctx := context.Background()
+
+	// Both servers stay up for the whole measurement and the rounds
+	// interleave disabled/enabled, so machine drift (thermal, GC, page
+	// cache) lands on both regimes equally: the tracing overhead on this
+	// workload is small against per-request generation cost, and a
+	// sequential A-then-B measurement can drift more than the 5% band the
+	// gate allows. Best-of-5 per regime, same treatment both sides.
+	offSrv, offBase, offStop, err := startObsServer(corpusSeed, false)
+	if err != nil {
+		return err
+	}
+	defer offStop()
+	_ = offSrv
+	onSrv, onBase, onStop, err := startObsServer(corpusSeed, true)
+	if err != nil {
+		return err
+	}
+	defer onStop()
+
+	var disabled, enabled *server.LoadReport
+	for round := 0; round < 5; round++ {
+		for _, side := range []struct {
+			base string
+			best **server.LoadReport
+		}{{offBase, &disabled}, {onBase, &enabled}} {
+			opts := server.LoadOptions{
+				BaseURL: side.base, Payloads: payloads, Concurrency: concurrency, Total: total,
+			}
+			if round == 0 {
+				// Warm pass: fills the evidence cache, sessions and plan
+				// caches; not counted.
+				opts.Concurrency, opts.Total = 8, 0
+			}
+			rep, err := server.RunLoad(ctx, opts)
+			if err != nil {
+				return err
+			}
+			if round > 0 && (*side.best == nil || rep.QPS > (*side.best).QPS) {
+				*side.best = rep
+			}
+		}
+	}
+	retained := 0
+	if ts := onSrv.Traces(); ts != nil {
+		retained = ts.Len()
+	}
+
+	coverage, err := routedTraceCoverage(corpusSeed, payloads[0])
+	if err != nil {
+		return err
+	}
+
+	report := obsBenchReport{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		NumCPU:         runtime.NumCPU(),
+		Seed:           corpusSeed,
+		Questions:      len(payloads),
+		Requests:       total,
+		Disabled:       disabled,
+		Enabled:        enabled,
+		TracesRetained: retained,
+		Coverage:       *coverage,
+	}
+	if disabled.QPS > 0 {
+		report.SpeedupObsEnabledVsDisabled = enabled.QPS / disabled.QPS
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  obs disabled (c=%d) %8.0f req/s (p50 %.0fus, p99 %.0fus)\n", concurrency, disabled.QPS, disabled.P50Micros, disabled.P99Micros)
+	fmt.Printf("  obs enabled  (c=%d) %8.0f req/s (p50 %.0fus, p99 %.0fus)\n", concurrency, enabled.QPS, enabled.P50Micros, enabled.P99Micros)
+	fmt.Printf("  enabled/disabled ratio %.3f (gate: >= 0.95); %d traces retained\n",
+		report.SpeedupObsEnabledVsDisabled, retained)
+	fmt.Printf("  routed trace %s: %d spans, router_forward=%v admission=%v batcher_wait=%v stages=%d prepare=%v execute=%v\n",
+		coverage.TraceID, coverage.Spans, coverage.RouterForward, coverage.Admission,
+		coverage.BatcherWait, coverage.EvidenceStages, coverage.EnginePrepare, coverage.EngineExecute)
+	return nil
+}
+
+// routedTraceCoverage sends one query through a real fleet.Router into a
+// tracing replica, fetches the trace the response advertises, and reports
+// which layers recorded spans.
+func routedTraceCoverage(corpusSeed uint64, payload []byte) (*obsCoverage, error) {
+	_, base, stop, err := startObsServer(corpusSeed, true)
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
+
+	rt, err := fleet.NewRouter(fleet.Config{
+		Replicas: []string{base},
+		Logger:   slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rhs := &http.Server{Handler: rt.Handler()}
+	go rhs.Serve(rln)
+	defer rhs.Close()
+
+	resp, err := http.Post("http://"+rln.Addr().String()+"/v1/query", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("routed query: %s", resp.Status)
+	}
+	traceID := resp.Header.Get(obs.TraceIDHeader)
+	if traceID == "" {
+		return nil, fmt.Errorf("routed query response carries no %s header", obs.TraceIDHeader)
+	}
+
+	tresp, err := http.Get(base + "/v1/traces/" + traceID)
+	if err != nil {
+		return nil, err
+	}
+	defer tresp.Body.Close()
+	if tresp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/traces/%s: %s", traceID, tresp.Status)
+	}
+	var rec obs.TraceRecord
+	if err := json.NewDecoder(tresp.Body).Decode(&rec); err != nil {
+		return nil, err
+	}
+
+	cov := &obsCoverage{TraceID: traceID, Spans: len(rec.Spans)}
+	for _, sp := range rec.Spans {
+		switch {
+		case sp.Name == "router.forward":
+			cov.RouterForward = true
+		case sp.Name == "admission":
+			cov.Admission = true
+		case sp.Name == "batcher.wait":
+			cov.BatcherWait = true
+		case strings.HasPrefix(sp.Name, "stage:"):
+			cov.EvidenceStages++
+		case sp.Name == "sqlengine.prepare":
+			cov.EnginePrepare = true
+		case sp.Name == "sqlengine.execute":
+			cov.EngineExecute = true
+		}
+	}
+	return cov, nil
+}

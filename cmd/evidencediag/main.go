@@ -7,22 +7,35 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
 	"repro/internal/dataset"
 	"repro/internal/evidence"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/seed"
 )
 
 func main() {
 	seedFlag := flag.Uint64("seed", 7, "corpus generation seed")
 	traceN := flag.Int("trace", 0, "print the stage-graph trace tree for the first n BIRD dev questions and exit")
+	fetchTrace := flag.String("fetch-trace", "", "fetch one retained trace by ID from a running seedd (GET /v1/traces/{id}) and render its span tree")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "seedd base URL for -fetch-trace")
 	flag.Parse()
 
+	if *fetchTrace != "" {
+		if err := printRemoteTrace(*addr, *fetchTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "fetch-trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	env := experiments.NewEnv(*seedFlag)
 	if *traceN > 0 {
 		if err := printTraces(env, *traceN); err != nil {
@@ -82,6 +95,32 @@ func main() {
 			fmt.Printf("    %-20s correct=%d wrong=%d\n", k, pk[0], pk[1])
 		}
 	}
+}
+
+// printRemoteTrace fetches one retained trace from a running seedd and
+// renders it with the same span-tree renderer sqlsh's .trace uses — the
+// operator loop is: make a request, read X-Trace-Id off the response,
+// `evidencediag -fetch-trace <id> -addr <replica>`.
+func printRemoteTrace(base, id string) error {
+	url := strings.TrimRight(base, "/") + "/v1/traces/" + id
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var rec obs.TraceRecord
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	}
+	fmt.Print(obs.RenderTree(&rec))
+	return nil
 }
 
 // printTraces renders the evidence DAG's provenance tree for the first n

@@ -49,6 +49,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/seed"
 	"repro/internal/server"
 )
@@ -73,6 +74,9 @@ func main() {
 	peers := flag.String("peers", "", "comma-separated base URLs of the other fleet replicas; their evidence stores are tailed over /v1/replicate into this one (requires -store-dir)")
 	replicateEvery := flag.Duration("replicate-interval", 0, "peer WAL poll period (0 = 200ms)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "on SIGTERM/SIGINT, how long /healthz?ready advertises draining before the listener stops accepting")
+	traceCapacity := flag.Int("trace-capacity", 0, "retained traces behind /v1/traces (0 = 256, negative disables tracing)")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query threshold: slower traces are always retained and logged (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "loopback-only pprof + runtime/trace listener, e.g. 127.0.0.1:6060 (empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	flag.Parse()
 
@@ -114,9 +118,11 @@ func main() {
 		StoreDir:          *storeDir,
 		StoreCompactEvery: *storeCompact,
 		StoreSeed:         *seedFlag,
-		Peers:             splitPeers(*peers),
-		ReplicateInterval: *replicateEvery,
-		Logger:            log,
+		Peers:              splitPeers(*peers),
+		ReplicateInterval:  *replicateEvery,
+		TraceCapacity:      *traceCapacity,
+		SlowQueryThreshold: *slowQuery,
+		Logger:             log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -140,6 +146,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if *debugAddr != "" {
+		dbgBound, stopDebug, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stopDebug()
+		log.Info("debug listener", "addr", "http://"+dbgBound+"/debug/pprof/")
 	}
 
 	hs := &http.Server{Handler: srv.Handler()}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func main() {
 	probeTimeout := flag.Duration("probe-timeout", time.Second, "health-probe round-trip deadline")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive failures that eject a replica (0 = default 5)")
 	breakerProbation := flag.Duration("breaker-probation", 0, "initial ejection duration, doubling while flapping (0 = default 1s)")
+	debugAddr := flag.String("debug-addr", "", "loopback-only pprof + runtime/trace listener, e.g. 127.0.0.1:6061 (empty disables)")
 	quiet := flag.Bool("quiet", false, "suppress per-request logs")
 	flag.Parse()
 
@@ -98,6 +100,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if *debugAddr != "" {
+		dbgBound, stopDebug, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stopDebug()
+		log.Info("debug listener", "addr", "http://"+dbgBound+"/debug/pprof/")
 	}
 
 	hs := &http.Server{Handler: rt.Handler()}

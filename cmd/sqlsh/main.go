@@ -9,6 +9,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/schema"
 	"repro/internal/sqlengine"
 )
@@ -41,16 +43,35 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no database %q; available: %v\n", *dbName, names)
 		os.Exit(2)
 	}
-	fmt.Printf("connected to %s (%d tables); end statements with ';', .schema prints DDL, .timing toggles timing, .quit exits\n",
+	fmt.Printf("connected to %s (%d tables); end statements with ';', .schema prints DDL, .timing toggles timing, .trace on|off prints span trees, .quit exits\n",
 		db.Name, len(db.Engine.Tables()))
 
 	scanner := bufio.NewScanner(os.Stdin)
 	var buf strings.Builder
 	timing := false
+	tracing := false
 	fmt.Print("> ")
 	for scanner.Scan() {
 		line := scanner.Text()
-		switch strings.TrimSpace(line) {
+		trimmed := strings.TrimSpace(line)
+		if arg, ok := strings.CutPrefix(trimmed, ".trace"); ok {
+			switch strings.TrimSpace(arg) {
+			case "on":
+				tracing = true
+			case "off":
+				tracing = false
+			default:
+				tracing = !tracing
+			}
+			state := "off"
+			if tracing {
+				state = "on"
+			}
+			fmt.Printf("trace %s (span tree per statement: prepare, plan-cache hit, execute, rows, cost)\n", state)
+			fmt.Print("> ")
+			continue
+		}
+		switch trimmed {
 		case ".quit", ".exit":
 			return
 		case ".schema":
@@ -80,33 +101,69 @@ func main() {
 		sql := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
 		buf.Reset()
 		if sql != "" {
-			run(db, sql, timing)
+			run(db, sql, timing, tracing)
 		}
 		fmt.Print("> ")
 	}
 }
 
-func run(db *schema.DB, sql string, timing bool) {
+func run(db *schema.DB, sql string, timing, tracing bool) {
 	var res *sqlengine.Result
 	var err error
 	var prepTime, execTime time.Duration
 	var cacheHit bool
-	if timing {
-		// Go through Prepare explicitly so the two phases — parse/plan
-		// (amortised by the plan cache) and execution — are separable.
-		hitsBefore := db.Engine.PlanCacheStats().Hits
+	var tr *obs.Trace
+	var root *obs.Span
+	ctx := context.Background()
+	if tracing {
+		ctx, tr = obs.NewTrace(ctx, "", "")
+		root = tr.StartRoot("statement", "")
+		root.SetAttr("sql", sql)
+		ctx = obs.ContextWithSpan(ctx, root)
+	}
+	if timing || tracing {
+		// Go through PrepareCached explicitly so the two phases —
+		// parse/plan (amortised by the plan cache) and execution — are
+		// separable, and the cache verdict is per-call rather than
+		// inferred from stats deltas.
+		_, psp := obs.StartSpan(ctx, "sqlengine.prepare")
 		start := time.Now()
 		var stmt *sqlengine.Stmt
-		stmt, err = db.Engine.Prepare(sql)
+		stmt, cacheHit, err = db.Engine.PrepareCached(sql)
 		prepTime = time.Since(start)
-		if err == nil {
-			cacheHit = db.Engine.PlanCacheStats().Hits > hitsBefore
+		psp.SetAttr("plan_cache_hit", cacheHit)
+		if err != nil {
+			psp.Fail(err)
+		} else {
+			psp.End()
+			_, esp := obs.StartSpan(ctx, "sqlengine.execute")
 			start = time.Now()
 			res, err = stmt.Exec()
 			execTime = time.Since(start)
+			if err != nil {
+				esp.Fail(err)
+			} else {
+				if res.Rows != nil {
+					esp.SetAttr("rows", len(res.Rows.Data))
+				}
+				esp.SetAttr("cost", res.Cost)
+				esp.End()
+			}
 		}
 	} else {
 		res, err = db.Engine.Exec(sql)
+	}
+	if tracing {
+		if err != nil {
+			root.Fail(err)
+		} else {
+			root.End()
+		}
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		defer func() { fmt.Print(obs.RenderTree(tr.Finish("statement", 0, errMsg))) }()
 	}
 	if timing {
 		defer func() {

@@ -26,6 +26,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -266,22 +267,34 @@ func (s *Service) GenerateTraced(ctx context.Context, db, question string) (Evid
 	default:
 	}
 	k := KeyFor(db, s.opts.Variant, question)
+	_, sp := obs.StartSpan(ctx, "evserve.lookup")
 	if s.cache != nil {
 		if e, ok := s.cache.Get(k); ok {
+			sp.SetAttr("cache_hit", true)
+			sp.End()
 			return Evidence{Text: e.Evidence, Trace: e.Trace, CacheHit: true}, nil
 		}
 	}
+	sp.SetAttr("cache_hit", false)
+	// Generation/append timings escape the closure via these locals: the
+	// closure body runs only in the single-flight leader's goroutine (this
+	// one, when shared=false), so recording them as spans after do()
+	// returns is race-free, and followers — who did none of the work —
+	// record no child spans.
+	var genStart, appendStart time.Time
+	var genDur, appendDur time.Duration
 	v, err, shared := s.flight.do(k, func() (Entry, error) {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
-		start := time.Now()
+		genStart = time.Now()
 		// The generation is shared by every deduped caller, so it must
 		// not run under any single caller's context: the leader hanging
 		// up would fail followers whose own contexts are alive. Requests
 		// already generating run to completion — the contract GenerateAll
 		// documents — and callers stop *waiting* via their own ctx.
 		ev, trace, err := s.gen(context.Background(), db, question)
-		s.genNanos.Add(time.Since(start).Nanoseconds())
+		genDur = time.Since(genStart)
+		s.genNanos.Add(genDur.Nanoseconds())
 		s.generations.Add(1)
 		if err != nil {
 			s.failures.Add(1)
@@ -297,20 +310,30 @@ func (s *Service) GenerateTraced(ctx context.Context, db, question string) (Evid
 			// Write-through: the entry is on its way to disk before the
 			// caller sees it. Store failures never fail the request —
 			// evidence was generated; only durability suffered.
+			appendStart = time.Now()
 			if serr := s.opts.Store.Append(k, e); serr != nil {
 				s.storeErrors.Add(1)
 			} else {
 				s.storeAppends.Add(1)
 			}
+			appendDur = time.Since(appendStart)
 		}
 		return e, nil
 	})
 	if shared {
 		s.dedups.Add(1)
+		sp.SetAttr("deduped", true)
+	} else if genDur > 0 {
+		sp.Child("evserve.generate", genStart, genDur, nil)
+		if appendDur > 0 {
+			sp.Child("evstore.append", appendStart, appendDur, nil)
+		}
 	}
 	if err != nil {
+		sp.Fail(err)
 		return Evidence{Trace: v.Trace}, err
 	}
+	sp.End()
 	return Evidence{Text: v.Evidence, Trace: v.Trace}, nil
 }
 

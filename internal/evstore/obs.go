@@ -1,0 +1,37 @@
+package evstore
+
+import "repro/internal/obs"
+
+// RegisterMetrics publishes the store's counters into reg as gauge
+// callbacks evaluated at scrape time.
+func (s *Store) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	gauge := func(name, help string, get func(Stats) float64) {
+		reg.GaugeFunc(name, help, func() float64 { return get(s.Stats()) }, labels...)
+	}
+	gauge("evstore_records", "Live entries (latest per key).", func(st Stats) float64 { return float64(st.Records) })
+	gauge("evstore_wal_records", "Records in the current WAL generation.", func(st Stats) float64 { return float64(st.WALRecords) })
+	gauge("evstore_appends_total", "Accepted Append calls since Open.", func(st Stats) float64 { return float64(st.Appends) })
+	gauge("evstore_compactions_total", "Completed snapshot rewrites since Open.", func(st Stats) float64 { return float64(st.Compactions) })
+	gauge("evstore_compact_errors_total", "Abandoned compactions.", func(st Stats) float64 { return float64(st.CompactErrors) })
+	gauge("evstore_snapshot_age_seconds", "Seconds since the last compaction (or Open).", func(st Stats) float64 { return st.SnapshotAgeSeconds })
+}
+
+// RegisterMetrics publishes the tailer's replication counters into reg,
+// labelled by the peer it replicates from.
+func (t *Tailer) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	labels = append([]obs.Label{obs.L("source", t.source)}, labels...)
+	gauge := func(name, help string, get func(TailerStats) float64) {
+		reg.GaugeFunc(name, help, func() float64 { return get(t.Stats()) }, labels...)
+	}
+	gauge("evstore_tailer_polls_total", "Replication round trips.", func(st TailerStats) float64 { return float64(st.Polls) })
+	gauge("evstore_tailer_applied_total", "Replicated records landed locally.", func(st TailerStats) float64 { return float64(st.Applied) })
+	gauge("evstore_tailer_duplicates_total", "Replicated records already present.", func(st TailerStats) float64 { return float64(st.Duplicates) })
+	gauge("evstore_tailer_resyncs_total", "Full-dump restarts after stalled polls.", func(st TailerStats) float64 { return float64(st.Resyncs) })
+	gauge("evstore_tailer_errors_total", "Failed polls.", func(st TailerStats) float64 { return float64(st.Errors) })
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/evserve"
+	"repro/internal/obs"
 )
 
 // WAL shipping: the replication layer that turns N independent seedd
@@ -220,6 +221,9 @@ type Tailer struct {
 	source string
 	store  *Store
 	opts   TailerOptions
+	// requestID identifies this tailer's replication stream in the peer's
+	// request logs (every poll carries it as X-Request-Id).
+	requestID string
 
 	mu   sync.Mutex
 	gen  int64
@@ -250,7 +254,7 @@ func NewTailer(source string, store *Store, opts TailerOptions) *Tailer {
 	// gen 0 never matches a real generation (they are UnixNano stamps), so
 	// the first poll always receives a full dump — a fresh follower needs
 	// the history, not just new bytes.
-	return &Tailer{source: source, store: store, opts: opts}
+	return &Tailer{source: source, store: store, opts: opts, requestID: "tail-" + obs.NewRequestID()}
 }
 
 // Run polls until ctx is cancelled. Transient errors (peer down, torn
@@ -304,6 +308,10 @@ func (t *Tailer) Poll(ctx context.Context) (progress bool, err error) {
 	if err != nil {
 		return false, err
 	}
+	// Each poll is its own trace; the request ID is stable per tailer so a
+	// leader's request log groups one follower's whole replication stream.
+	obs.Inject(req.Header, obs.NewTraceID(), "")
+	req.Header.Set(obs.RequestIDHeader, t.requestID)
 	resp, err := t.opts.Client.Do(req)
 	if err != nil {
 		return false, err

@@ -92,20 +92,36 @@ func NewRing(replicas []string, vnodes int) *Ring {
 }
 
 // pointHash positions one virtual node on the circle: FNV-1a over
-// "name\x00vnode".
+// "name\x00vnode", then mixed through fmix64.
 func pointHash(name string, vnode int) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(name))
 	h.Write([]byte{0})
 	h.Write([]byte(strconv.Itoa(vnode)))
-	return h.Sum64()
+	return fmix64(h.Sum64())
 }
 
 // keyHash positions a shard key on the circle.
 func keyHash(key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return h.Sum64()
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is MurmurHash3's 64-bit finalizer. FNV-1a alone is not enough
+// here: a trailing-byte difference only moves the raw hash by about
+// delta*prime (~2^44 for a final digit), which is far less than the
+// ~2^55 average gap between ring points, so keys sharing a long prefix —
+// "question 1" vs "question 2" — all collapse into one arc and one
+// replica owns the whole family. The finalizer's shift-xor-multiply
+// rounds give full avalanche, restoring uniform shard spread.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
 }
 
 // Replicas returns the ring's member names in sorted order. The returned

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config assembles a Router. Replicas is required; everything else has
@@ -92,6 +94,7 @@ type Router struct {
 
 	rr    atomic.Int64 // round-robin cursor for unsharded routes
 	start time.Time
+	reg   *obs.Registry
 
 	requests     atomic.Int64
 	attempts     atomic.Int64
@@ -155,6 +158,7 @@ func NewRouter(cfg Config) (*Router, error) {
 	for _, name := range rt.ring.Replicas() {
 		rt.replicas[name] = newReplica(name, cfg.BreakerThreshold, cfg.BreakerProbation, cfg.BreakerMaxProbation)
 	}
+	rt.initObs()
 	rt.probeCtx, rt.probeCancel = context.WithCancel(context.Background())
 	if cfg.ProbeInterval > 0 {
 		for _, rep := range rt.replicas {
@@ -192,13 +196,13 @@ func (rt *Router) Close() {
 // Handler returns the router's HTTP handler.
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) { rt.serveSharded(w, r) })
-	mux.HandleFunc("POST /v1/evidence", func(w http.ResponseWriter, r *http.Request) { rt.serveSharded(w, r) })
-	mux.HandleFunc("GET /v1/dbs", func(w http.ResponseWriter, r *http.Request) { rt.serveAny(w, r) })
-	mux.HandleFunc("GET /v1/examples", func(w http.ResponseWriter, r *http.Request) { rt.serveAny(w, r) })
-	mux.HandleFunc("GET /v1/route", rt.handleRoute)
-	mux.HandleFunc("GET /healthz", rt.handleHealthz)
-	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("POST /v1/query", rt.stamp(rt.serveSharded))
+	mux.HandleFunc("POST /v1/evidence", rt.stamp(rt.serveSharded))
+	mux.HandleFunc("GET /v1/dbs", rt.stamp(rt.serveAny))
+	mux.HandleFunc("GET /v1/examples", rt.stamp(rt.serveAny))
+	mux.HandleFunc("GET /v1/route", rt.stamp(rt.handleRoute))
+	mux.HandleFunc("GET /healthz", rt.stamp(rt.handleHealthz))
+	mux.HandleFunc("GET /metrics", rt.stamp(rt.handleMetrics))
 	return mux
 }
 
@@ -286,6 +290,17 @@ func (a attemptResult) shed() bool {
 		(a.status == http.StatusTooManyRequests || a.status == http.StatusServiceUnavailable)
 }
 
+// fwdMeta is the per-request identity the forwarding path threads through
+// its attempts and logs: the request ID (stamped by stamp, echoed on the
+// response, propagated to every attempt) and the trace ID (a client
+// traceparent when one arrived, fresh otherwise — every attempt carries it
+// so the serving replica's trace is joinable from the router log line).
+type fwdMeta struct {
+	path    string
+	reqID   string
+	traceID string
+}
+
 // forward relays one client request to the candidate replicas: bounded
 // attempts, exponential backoff with jitter between retries, and a hedge
 // to the next ring replica when the current attempt is slow. The first
@@ -293,6 +308,12 @@ func (a attemptResult) shed() bool {
 func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, cands []*replica) {
 	t0 := time.Now()
 	rt.requests.Add(1)
+	meta := fwdMeta{path: r.URL.Path, reqID: r.Header.Get(obs.RequestIDHeader)}
+	if tid, _, ok := obs.Extract(r.Header); ok {
+		meta.traceID = tid
+	} else {
+		meta.traceID = obs.NewTraceID()
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.RequestTimeout)
 	defer cancel()
 
@@ -319,7 +340,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 		rt.attempts.Add(1)
 		actx, acancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 		cancels = append(cancels, acancel)
-		go rt.attempt(actx, rep, r, body, index, results)
+		go rt.attempt(actx, rep, r, body, meta, index, results)
 		return true
 	}
 
@@ -330,7 +351,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 	for {
 		select {
 		case <-ctx.Done():
-			rt.relayFailure(w, last, t0)
+			rt.relayFailure(w, last, t0, meta)
 			return
 		case <-timer.C:
 			if launched < rt.cfg.MaxAttempts && launch(launched) {
@@ -340,7 +361,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 				timer.Reset(jittered(rt.cfg.HedgeDelay))
 			} else if done == launched {
 				// Nothing in flight and nothing launchable.
-				rt.relayFailure(w, last, t0)
+				rt.relayFailure(w, last, t0, meta)
 				return
 			}
 		case res := <-results:
@@ -351,7 +372,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 				if res.index > 0 {
 					rt.hedgedWins.Add(1)
 				}
-				rt.relay(w, res, t0)
+				rt.relay(w, res, t0, meta)
 				return
 			}
 			last = res
@@ -361,7 +382,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 				// full hedge delay.
 				timer.Reset(rt.backoff(launched))
 			} else if done == launched {
-				rt.relayFailure(w, last, t0)
+				rt.relayFailure(w, last, t0, meta)
 				return
 			}
 		}
@@ -395,7 +416,7 @@ func (rt *Router) record(res attemptResult) {
 
 // attempt performs one backend round trip, buffering the response body so
 // a mid-body failure is retryable.
-func (rt *Router) attempt(ctx context.Context, rep *replica, r *http.Request, body []byte, index int, out chan<- attemptResult) {
+func (rt *Router) attempt(ctx context.Context, rep *replica, r *http.Request, body []byte, meta fwdMeta, index int, out chan<- attemptResult) {
 	url := rep.name + r.URL.Path
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
@@ -412,6 +433,14 @@ func (rt *Router) attempt(ctx context.Context, rep *replica, r *http.Request, bo
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
+	// Every attempt carries the same trace and request ID (one client
+	// request is one trace, however many replicas it touches) plus its
+	// attempt index, so the serving replica's trace records whether it was
+	// the shard owner or a retry/hedge successor. The span ID is fresh per
+	// attempt: it is the parent of everything that replica records.
+	obs.Inject(req.Header, meta.traceID, "")
+	req.Header.Set(obs.RequestIDHeader, meta.reqID)
+	req.Header.Set(obs.FleetAttemptHeader, fmt.Sprint(index))
 	resp, err := rt.client.Do(req)
 	if err != nil {
 		out <- attemptResult{rep: rep, err: err, index: index}
@@ -477,8 +506,10 @@ func nextCandidate(cands []*replica, tried map[*replica]int, now time.Time) *rep
 // relay writes a buffered backend response to the client, stamping which
 // replica served it (X-Fleet-Replica) so failover is observable end to
 // end.
-func (rt *Router) relay(w http.ResponseWriter, res attemptResult, t0 time.Time) {
-	for _, h := range []string{"Content-Type", "Retry-After", "X-Retry-After-Ms"} {
+func (rt *Router) relay(w http.ResponseWriter, res attemptResult, t0 time.Time, meta fwdMeta) {
+	// X-Trace-Id relays through so the client can fetch the serving
+	// replica's trace for the request it just made.
+	for _, h := range []string{"Content-Type", "Retry-After", "X-Retry-After-Ms", obs.TraceIDHeader} {
 		if v := res.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -489,16 +520,21 @@ func (rt *Router) relay(w http.ResponseWriter, res attemptResult, t0 time.Time) 
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
-	rt.lat.observe(time.Since(t0))
+	d := time.Since(t0)
+	rt.lat.observe(d)
+	rt.log.Info("request",
+		"route", meta.path, "status", res.status, "replica", res.rep.name,
+		"attempt", res.index, "duration_us", d.Microseconds(),
+		"request_id", meta.reqID, "trace_id", meta.traceID)
 }
 
 // relayFailure answers a client whose attempts are exhausted: the last
 // backend response verbatim when there was one (its Retry-After still
 // means something), otherwise a 502/504.
-func (rt *Router) relayFailure(w http.ResponseWriter, last attemptResult, t0 time.Time) {
+func (rt *Router) relayFailure(w http.ResponseWriter, last attemptResult, t0 time.Time, meta fwdMeta) {
 	rt.exhausted.Add(1)
 	if last.err == nil && last.status != 0 {
-		rt.relay(w, last, t0)
+		rt.relay(w, last, t0, meta)
 		return
 	}
 	status := http.StatusBadGateway
@@ -508,7 +544,11 @@ func (rt *Router) relayFailure(w http.ResponseWriter, last attemptResult, t0 tim
 	}
 	rt.clientFivexx.Add(1)
 	rt.writeError(w, status, msg)
-	rt.lat.observe(time.Since(t0))
+	d := time.Since(t0)
+	rt.lat.observe(d)
+	rt.log.Warn("request exhausted",
+		"route", meta.path, "status", status, "duration_us", d.Microseconds(),
+		"request_id", meta.reqID, "trace_id", meta.traceID, "error", msg)
 }
 
 func (rt *Router) writeError(w http.ResponseWriter, status int, msg string) {
@@ -623,7 +663,12 @@ func (rt *Router) replicaStatuses(now time.Time) []ReplicaStatus {
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	rt.writeJSON(w, rt.Metrics())
+	if isJSONFormat(r) {
+		rt.writeJSON(w, rt.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.reg.WritePrometheus(w)
 }
 
 func (rt *Router) writeJSON(w http.ResponseWriter, v any) {

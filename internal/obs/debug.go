@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/trace"
+	"strconv"
+	"time"
+)
+
+// ServeDebug starts the opt-in profiling listener: net/http/pprof plus a
+// runtime/trace capture endpoint, on its own mux (never DefaultServeMux)
+// and refusing non-loopback bind addresses — profiling data includes
+// argument values and must not be exposed fleet-wide by accident.
+//
+// Endpoints:
+//
+//	/debug/pprof/           index (heap, goroutine, profile, ...)
+//	/debug/rtrace?sec=N     runtime/trace capture, default 1s, max 60s
+//
+// It returns the bound address (useful with ":0") and a shutdown func.
+func ServeDebug(addr string) (string, func(), error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debug addr %q: %w", addr, err)
+	}
+	if host != "" && host != "localhost" {
+		if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+			return "", nil, fmt.Errorf("debug addr %q is not loopback; profiling endpoints are loopback-only", addr)
+		}
+	}
+	if host == "" {
+		// ":6060" would bind all interfaces — pin it to loopback.
+		_, port, _ := net.SplitHostPort(addr)
+		addr = net.JoinHostPort("127.0.0.1", port)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/rtrace", handleRuntimeTrace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}
+
+// handleRuntimeTrace streams a runtime execution trace (go tool trace)
+// for ?sec= seconds.
+func handleRuntimeTrace(w http.ResponseWriter, r *http.Request) {
+	sec := 1
+	if v := r.URL.Query().Get("sec"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 60 {
+			http.Error(w, "sec must be an integer in [1,60]", http.StatusBadRequest)
+			return
+		}
+		sec = n
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.out"`)
+	if err := trace.Start(w); err != nil {
+		// Most commonly: a concurrent capture is already running.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	select {
+	case <-time.After(time.Duration(sec) * time.Second):
+	case <-r.Context().Done():
+	}
+	trace.Stop()
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric label pair. Labels distinguish instances of the
+// same metric family (e.g. requests_total{route="/v1/query"}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metricKind discriminates exposition behaviour.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+// metric is one registered instance: a family name + label set + value.
+type metric struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []Label
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// Registry is a concurrent metrics registry. Registration is idempotent
+// per (name, labels) — re-registering returns the existing instance — so
+// hot paths may register lazily without coordination. A Registry is safe
+// for concurrent registration, observation and exposition.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics []*metric
+	index   map[string]*metric // name + label signature
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]*metric)}
+}
+
+func labelSig(name string, labels []Label) string {
+	s := name
+	for _, l := range labels {
+		s += "\x00" + l.Key + "\x01" + l.Value
+	}
+	return s
+}
+
+func (r *Registry) register(m *metric) *metric {
+	sig := labelSig(m.name, m.labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.index[sig]; ok {
+		return existing
+	}
+	r.index[sig] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or returns the existing) monotonically increasing
+// counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(&metric{name: name, help: help, kind: kindCounter, labels: labels, counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(&metric{name: name, help: help, kind: kindGauge, labels: labels, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at exposition time.
+// This is how snapshot-style subsystem stats (evserve, evstore, plan
+// caches, admission) surface without restructuring their counters.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, labels: labels, fn: fn})
+}
+
+// Histogram registers (or returns the existing) exact-quantile histogram
+// with the given sample capacity (0 uses DefaultHistogramCapacity).
+func (r *Registry) Histogram(name, help string, capacity int, labels ...Label) *Histogram {
+	m := r.register(&metric{name: name, help: help, kind: kindHistogram, labels: labels, hist: NewHistogram(capacity)})
+	return m.hist
+}
+
+// Counter is a lock-free monotonic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to keep the counter monotonic).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a lock-free settable value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultHistogramCapacity is the sample-ring size a zero capacity
+// requests: quantiles are exact up to this many observations and computed
+// over the most recent window beyond it.
+const DefaultHistogramCapacity = 4096
+
+// Histogram is a lock-free histogram with exact quantiles: observations
+// land in a fixed ring of samples via an atomic cursor, so up to its
+// capacity the quantiles are exact over everything observed, and past
+// capacity (saturation) they are exact over the most recent window.
+// Count and Sum always cover every observation.
+type Histogram struct {
+	samples []atomic.Int64
+	// cursor counts Observe calls only — it is the ring write position.
+	// count additionally includes merged-in observations whose samples
+	// never entered this ring (see Merge), so it must not index samples.
+	cursor atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given sample capacity
+// (0 or negative uses DefaultHistogramCapacity).
+func NewHistogram(capacity int) *Histogram {
+	if capacity <= 0 {
+		capacity = DefaultHistogramCapacity
+	}
+	return &Histogram{samples: make([]atomic.Int64, capacity)}
+}
+
+// Observe records one value. Values are int64 by design: the fleet
+// observes microseconds and counts, and integer samples keep the ring
+// atomic without float bit-punning.
+func (h *Histogram) Observe(v int64) {
+	i := h.cursor.Add(1) - 1
+	h.samples[i%int64(len(h.samples))].Store(v)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations (including any that have
+// rotated out of the sample ring).
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns Sum/Count, or 0 before any observation.
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// window snapshots the live samples: all of them before saturation, the
+// whole ring after.
+func (h *Histogram) window() []int64 {
+	n := h.cursor.Load()
+	if n > int64(len(h.samples)) {
+		n = int64(len(h.samples))
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = h.samples[i].Load()
+	}
+	return out
+}
+
+// Quantile returns the exact q-quantile (nearest-rank: the smallest
+// sample such that at least ceil(q*n) samples are <= it) over the current
+// sample window. q is clamped to [0, 1]; q=0 is the minimum, q=1 the
+// maximum. It returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) int64 {
+	snap := h.window()
+	return quantileOf(snap, q)
+}
+
+// Quantiles returns several quantiles from one snapshot+sort — cheaper
+// than repeated Quantile calls and consistent within one exposition.
+func (h *Histogram) Quantiles(qs ...float64) []int64 {
+	snap := h.window()
+	if len(snap) == 0 {
+		return make([]int64, len(qs))
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = sortedQuantile(snap, q)
+	}
+	return out
+}
+
+func quantileOf(snap []int64, q float64) int64 {
+	if len(snap) == 0 {
+		return 0
+	}
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	return sortedQuantile(snap, q)
+}
+
+func sortedQuantile(sorted []int64, q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Merge folds o's current sample window into h (each sample re-observed),
+// plus o's out-of-window count and sum so Count/Sum stay whole-history
+// accurate. Merging is snapshot-level: samples o already rotated out
+// contribute to Count/Sum but not to quantiles, exactly as they no longer
+// do in o itself.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	snap := o.window()
+	var snapSum int64
+	for _, v := range snap {
+		h.Observe(v)
+		snapSum += v
+	}
+	if extra := o.count.Load() - int64(len(snap)); extra > 0 {
+		h.count.Add(extra)
+		h.sum.Add(o.sum.Load() - snapSum)
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	tests := []struct {
+		name     string
+		capacity int
+		observe  []int64
+		q        map[float64]int64
+	}{
+		{
+			name:     "empty",
+			capacity: 8,
+			observe:  nil,
+			q:        map[float64]int64{0: 0, 0.5: 0, 0.99: 0, 1: 0},
+		},
+		{
+			name:     "single sample",
+			capacity: 8,
+			observe:  []int64{42},
+			q:        map[float64]int64{0: 42, 0.5: 42, 0.9: 42, 1: 42},
+		},
+		{
+			name:     "exact deciles",
+			capacity: 16,
+			observe:  []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100},
+			// nearest-rank: rank = ceil(q*10)
+			q: map[float64]int64{0: 10, 0.1: 10, 0.5: 50, 0.9: 90, 0.99: 100, 1: 100},
+		},
+		{
+			name:     "unsorted input",
+			capacity: 16,
+			observe:  []int64{90, 10, 50, 30, 70},
+			q:        map[float64]int64{0.5: 50, 1: 90, 0: 10},
+		},
+		{
+			name:     "saturating ring keeps newest window",
+			capacity: 4,
+			// 8 observations into capacity 4: ring holds the last 4 (5,6,7,8).
+			observe: []int64{1, 2, 3, 4, 5, 6, 7, 8},
+			q:       map[float64]int64{0: 5, 0.5: 6, 1: 8},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram(tc.capacity)
+			for _, v := range tc.observe {
+				h.Observe(v)
+			}
+			if got := h.Count(); got != int64(len(tc.observe)) {
+				t.Fatalf("Count = %d, want %d", got, len(tc.observe))
+			}
+			for q, want := range tc.q {
+				if got := h.Quantile(q); got != want {
+					t.Errorf("Quantile(%v) = %d, want %d", q, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramSaturatedCountAndSum(t *testing.T) {
+	h := NewHistogram(4)
+	var sum int64
+	for i := int64(1); i <= 10; i++ {
+		h.Observe(i)
+		sum += i
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count = %d, want 10 (whole history, not window)", h.Count())
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %d, want %d", h.Sum(), sum)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	t.Run("both unsaturated", func(t *testing.T) {
+		a, b := NewHistogram(8), NewHistogram(8)
+		for _, v := range []int64{1, 2, 3} {
+			a.Observe(v)
+		}
+		for _, v := range []int64{4, 5, 6} {
+			b.Observe(v)
+		}
+		a.Merge(b)
+		if a.Count() != 6 || a.Sum() != 21 {
+			t.Fatalf("merged count/sum = %d/%d, want 6/21", a.Count(), a.Sum())
+		}
+		if got := a.Quantile(0.5); got != 3 { // rank ceil(0.5*6)=3 → 3rd smallest of {1..6}
+			t.Fatalf("merged p50 = %d, want 3", got)
+		}
+		if got := a.Quantile(1); got != 6 {
+			t.Fatalf("merged max = %d, want 6", got)
+		}
+	})
+	t.Run("saturated source keeps whole-history count", func(t *testing.T) {
+		a, b := NewHistogram(16), NewHistogram(4)
+		for i := int64(1); i <= 10; i++ { // b window = {7,8,9,10}, extra count 6, extra sum 21
+			b.Observe(i)
+		}
+		a.Merge(b)
+		if a.Count() != 10 {
+			t.Fatalf("merged count = %d, want 10", a.Count())
+		}
+		if a.Sum() != 55 {
+			t.Fatalf("merged sum = %d, want 55", a.Sum())
+		}
+		// Quantiles only see b's surviving window.
+		if got := a.Quantile(0); got != 7 {
+			t.Fatalf("merged min = %d, want 7", got)
+		}
+	})
+	t.Run("nil merge is a no-op", func(t *testing.T) {
+		a := NewHistogram(4)
+		a.Observe(1)
+		a.Merge(nil)
+		if a.Count() != 1 {
+			t.Fatalf("count changed on nil merge")
+		}
+	})
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("reqs_total", "requests", L("route", "/v1/query"))
+	c2 := r.Counter("reqs_total", "requests", L("route", "/v1/query"))
+	if c1 != c2 {
+		t.Fatal("re-registering same name+labels should return the same counter")
+	}
+	c3 := r.Counter("reqs_total", "requests", L("route", "/v1/schema"))
+	if c1 == c3 {
+		t.Fatal("different labels must get a distinct counter")
+	}
+	h1 := r.Histogram("lat_us", "latency", 0, L("route", "/v1/query"))
+	h2 := r.Histogram("lat_us", "latency", 0, L("route", "/v1/query"))
+	if h1 != h2 {
+		t.Fatal("re-registering same histogram should return the same instance")
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total", "total queries", L("route", "/v1/query")).Add(7)
+	r.Gauge("inflight", "in-flight requests").Set(2.5)
+	r.GaugeFunc("cache_entries", "entries", func() float64 { return 31 })
+	h := r.Histogram("latency_us", "request latency", 16, L("route", "/v1/query"))
+	for _, v := range []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE queries_total counter",
+		`queries_total{route="/v1/query"} 7`,
+		"# TYPE inflight gauge",
+		"inflight 2.5",
+		"cache_entries 31",
+		"# TYPE latency_us summary",
+		`latency_us{quantile="0.5",route="/v1/query"} 50`,
+		`latency_us{quantile="0.9",route="/v1/query"} 90`,
+		`latency_us{quantile="0.99",route="/v1/query"} 100`,
+		`latency_us_sum{route="/v1/query"} 550`,
+		`latency_us_count{route="/v1/query"} 10`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", L("q", `he said "hi"`+"\n")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `{q="he said \"hi\"\n"}`) {
+		t.Fatalf("label not escaped:\n%s", b.String())
+	}
+}

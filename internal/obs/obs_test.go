@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	h := http.Header{}
+	traceID, spanID := NewTraceID(), NewSpanID()
+	Inject(h, traceID, spanID)
+	got := h.Get(TraceparentHeader)
+	want := "00-" + traceID + "-" + spanID + "-01"
+	if got != want {
+		t.Fatalf("traceparent = %q, want %q", got, want)
+	}
+	tid, pid, ok := Extract(h)
+	if !ok || tid != traceID || pid != spanID {
+		t.Fatalf("Extract = (%q, %q, %v), want (%q, %q, true)", tid, pid, ok, traceID, spanID)
+	}
+}
+
+func TestExtractRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"00-abc-def-01",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // all-zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"00-" + strings.Repeat("g", 32) + "-" + strings.Repeat("a", 16) + "-01", // non-hex
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16),         // 3 parts
+	}
+	for _, v := range cases {
+		h := http.Header{}
+		if v != "" {
+			h.Set(TraceparentHeader, v)
+		}
+		if _, _, ok := Extract(h); ok {
+			t.Errorf("Extract accepted malformed traceparent %q", v)
+		}
+	}
+}
+
+func TestRequestIDFreshWhenAbsent(t *testing.T) {
+	h := http.Header{}
+	id := RequestID(h)
+	if id == "" {
+		t.Fatal("RequestID returned empty for absent header")
+	}
+	h.Set(RequestIDHeader, "client-supplied")
+	if got := RequestID(h); got != "client-supplied" {
+		t.Fatalf("RequestID = %q, want client-supplied", got)
+	}
+}
+
+func TestSpanTreeAndFinish(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "", "req1")
+	root := tr.StartRoot("request", "remoteparent0000")
+	ctx = context.WithValue(ctx, spanKey{}, root)
+
+	cctx, child := StartSpan(ctx, "stage.a")
+	child.SetAttr("cache_hit", true)
+	_, grand := StartSpan(cctx, "stage.a.inner")
+	grand.End()
+	child.End()
+	_, failed := StartSpan(ctx, "stage.b")
+	failed.Fail("boom")
+	root.Child("measured", time.Now().Add(-time.Millisecond), time.Millisecond, map[string]any{"rows": 3})
+	root.End()
+
+	rec := tr.Finish("/v1/query", 200, "")
+	if rec == nil || len(rec.Spans) != 5 {
+		t.Fatalf("Finish: got %+v, want 5 spans", rec)
+	}
+	if rec.ID != tr.ID() || rec.RequestID != "req1" || rec.Status != 200 {
+		t.Fatalf("record header wrong: %+v", rec)
+	}
+	byName := map[string]Span{}
+	for _, sp := range rec.Spans {
+		byName[sp.Name] = sp
+		if sp.DurationMicros <= 0 {
+			t.Errorf("span %s has non-positive duration %d", sp.Name, sp.DurationMicros)
+		}
+	}
+	if byName["request"].ParentID != "remoteparent0000" {
+		t.Errorf("root parent = %q, want remote parent", byName["request"].ParentID)
+	}
+	if byName["stage.a"].ParentID != byName["request"].SpanID {
+		t.Errorf("stage.a parent = %q, want root span id", byName["stage.a"].ParentID)
+	}
+	if byName["stage.a.inner"].ParentID != byName["stage.a"].SpanID {
+		t.Errorf("stage.a.inner parent wrong")
+	}
+	if byName["stage.b"].Err != "boom" {
+		t.Errorf("stage.b error = %q, want boom", byName["stage.b"].Err)
+	}
+	if byName["stage.a"].Attrs["cache_hit"] != true {
+		t.Errorf("stage.a attrs = %v", byName["stage.a"].Attrs)
+	}
+	if !rec.Errored() {
+		t.Error("record with errored span should report Errored")
+	}
+
+	tree := RenderTree(rec)
+	for _, want := range []string{"request", "stage.a", "stage.a.inner", "stage.b", "measured", "rows=3", `error="boom"`} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("RenderTree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+func TestDisabledTracingIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "anything")
+	if sp != nil {
+		t.Fatal("StartSpan without collector should return nil span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("StartSpan without collector should not derive a new context")
+	}
+	// All nil-receiver operations must be safe.
+	sp.End()
+	sp.Fail("x")
+	sp.SetAttr("k", 1)
+	sp.Child("c", time.Now(), time.Millisecond, nil)
+	var tr *Trace
+	if tr.Finish("x", 0, "") != nil {
+		t.Fatal("nil trace Finish should return nil")
+	}
+	if tr.StartRoot("x", "") != nil {
+		t.Fatal("nil trace StartRoot should return nil")
+	}
+}

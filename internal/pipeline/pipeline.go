@@ -182,7 +182,8 @@ type Run struct {
 	values map[string]any
 	traces []StageTrace
 
-	wall time.Duration
+	start time.Time
+	wall  time.Duration
 }
 
 func (r *Run) value(name string) (any, bool) {
@@ -239,7 +240,7 @@ func (g *Graph) Execute(ctx context.Context, input any) (*Run, error) {
 		return nil, err
 	}
 	start := time.Now()
-	r := &Run{graph: g, input: input, values: make(map[string]any, len(g.stages))}
+	r := &Run{graph: g, input: input, values: make(map[string]any, len(g.stages)), start: start}
 
 	runCtx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
@@ -322,7 +323,7 @@ func (g *Graph) runStage(ctx context.Context, r *Run, st *stage) (err error) {
 		}
 	}()
 	t0 := time.Now()
-	tr := StageTrace{Stage: st.name, Deps: st.deps}
+	tr := StageTrace{Stage: st.name, Deps: st.deps, StartMicros: t0.Sub(r.start).Microseconds()}
 
 	memoKey := ""
 	memoize := false

@@ -21,6 +21,10 @@ type StageTrace struct {
 	// (WallMicros then measures the memo lookup, and Tokens is 0 — no
 	// tokens were spent).
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// StartMicros is the stage's start offset from the run start, in
+	// microseconds — what lets a span view reconstruct the DAG's overlap
+	// from a finished trace.
+	StartMicros int64 `json:"start_us,omitempty"`
 	// WallMicros is the stage's wall time in microseconds.
 	WallMicros int64 `json:"wall_us"`
 	// Tokens counts prompt + completion tokens the stage spent.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/evserve"
+	"repro/internal/obs"
 )
 
 // batcher coalesces concurrent evidence requests into evserve.GenerateAll
@@ -44,6 +45,8 @@ type batchItem struct {
 type batchResult struct {
 	evidence evserve.Evidence
 	err      error
+	// size is how many requests shared the batch — a span attribute.
+	size int
 }
 
 func newBatcher(svc *evserve.Service, window time.Duration, maxSize int) *batcher {
@@ -60,6 +63,11 @@ func (b *batcher) Generate(ctx context.Context, db, question string) (evserve.Ev
 		b.singles.Add(1)
 		return b.svc.GenerateTraced(ctx, db, question)
 	}
+	// The wait span covers coalescing + the shared batch execution: the
+	// batch itself runs under its own context (it is shared by unrelated
+	// requests), so this span is the only per-request view of the batched
+	// path's cost.
+	_, sp := obs.StartSpan(ctx, "batcher.wait")
 	item := batchItem{
 		req: evserve.Request{DB: db, Question: question},
 		out: make(chan batchResult, 1),
@@ -79,8 +87,15 @@ func (b *batcher) Generate(ctx context.Context, db, question string) (evserve.Ev
 	}
 	select {
 	case r := <-item.out:
+		sp.SetAttr("batch_size", r.size)
+		if r.err != nil {
+			sp.Fail(r.err)
+		} else {
+			sp.End()
+		}
 		return r.evidence, r.err
 	case <-ctx.Done():
+		sp.Fail(ctx.Err())
 		return evserve.Evidence{}, ctx.Err()
 	}
 }
@@ -142,7 +157,8 @@ func (b *batcher) run(items []batchItem) {
 				Trace:    results[i].Trace,
 				CacheHit: results[i].CacheHit,
 			},
-			err: results[i].Err,
+			err:  results[i].Err,
+			size: len(items),
 		}
 	}
 }

@@ -1,102 +1,41 @@
 package server
 
 import (
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// histBuckets is the number of latency histogram buckets. Bucket i counts
-// observations at or below histBoundMicros(i); the last bucket is
-// unbounded. Bounds double from 50µs, so the histogram spans 50µs to
-// ~26s — micro-batched cache hits at the bottom, cold full-pipeline
-// generations with queueing at the top.
-const histBuckets = 20
-
-// histBoundMicros returns bucket i's inclusive upper bound in microseconds.
-func histBoundMicros(i int) float64 {
-	return 50 * float64(int64(1)<<uint(i))
-}
-
-// histogram is a lock-free fixed-bucket latency histogram. The zero value
-// is not usable; construct with newHistogram.
-type histogram struct {
-	counts   []atomic.Int64
-	total    atomic.Int64
-	sumMicro atomic.Int64
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, histBuckets)}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	us := d.Microseconds()
-	i := 0
-	for i < histBuckets-1 && float64(us) > histBoundMicros(i) {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.total.Add(1)
-	h.sumMicro.Add(us)
-}
-
-// quantile estimates the q-th latency quantile in microseconds by linear
-// interpolation within the containing bucket. It returns 0 before any
-// observation.
-func (h *histogram) quantile(q float64) float64 {
-	total := h.total.Load()
-	if total == 0 {
-		return 0
-	}
-	target := q * float64(total)
-	var cum float64
-	for i := 0; i < histBuckets; i++ {
-		n := float64(h.counts[i].Load())
-		if cum+n >= target && n > 0 {
-			lower := 0.0
-			if i > 0 {
-				lower = histBoundMicros(i - 1)
-			}
-			upper := histBoundMicros(i)
-			if i == histBuckets-1 {
-				upper = lower * 2 // open-ended tail: assume one more doubling
-			}
-			frac := (target - cum) / n
-			return lower + frac*(upper-lower)
-		}
-		cum += n
-	}
-	return histBoundMicros(histBuckets - 1)
-}
-
-func (h *histogram) mean() float64 {
-	total := h.total.Load()
-	if total == 0 {
-		return 0
-	}
-	return float64(h.sumMicro.Load()) / float64(total)
-}
-
-// routeMetrics aggregates one route's request counters.
+// routeMetrics aggregates one route's request counters, backed by the
+// server's obs registry: the same counter/histogram instances feed both
+// the Prometheus exposition and the legacy JSON snapshot.
 type routeMetrics struct {
-	count   atomic.Int64
-	errors  atomic.Int64 // responses with status >= 400
-	latency *histogram
+	count   *obs.Counter
+	errors  *obs.Counter // responses with status >= 400
+	latency *obs.Histogram
 }
 
-func newRouteMetrics() *routeMetrics {
-	return &routeMetrics{latency: newHistogram()}
+func newRouteMetrics(reg *obs.Registry, route string) *routeMetrics {
+	l := obs.L("route", route)
+	return &routeMetrics{
+		count:   reg.Counter("server_requests_total", "Completed requests, rejected ones included.", l),
+		errors:  reg.Counter("server_request_errors_total", "Responses with status >= 400.", l),
+		latency: reg.Histogram("server_request_latency_us", "End-to-end request latency in microseconds.", 0, l),
+	}
 }
 
 func (rm *routeMetrics) observe(status int, d time.Duration) {
-	rm.count.Add(1)
+	rm.count.Inc()
 	if status >= 400 {
-		rm.errors.Add(1)
+		rm.errors.Inc()
 	}
-	rm.latency.observe(d)
+	rm.latency.Observe(d.Microseconds())
 }
 
-// RouteSnapshot is the /metrics view of one route's counters.
+// RouteSnapshot is the /metrics?format=json view of one route's counters.
+// The quantiles are exact over the histogram's sample window (previously
+// they were interpolated from doubling buckets; the JSON shape is
+// unchanged).
 type RouteSnapshot struct {
 	// Count is the number of completed requests, including rejected ones.
 	Count int64 `json:"count"`
@@ -104,20 +43,21 @@ type RouteSnapshot struct {
 	Errors int64 `json:"errors"`
 	// MeanMicros is the mean end-to-end latency in microseconds.
 	MeanMicros float64 `json:"mean_us"`
-	// P50Micros, P90Micros and P99Micros are interpolated latency
-	// quantiles in microseconds.
+	// P50Micros, P90Micros and P99Micros are exact latency quantiles in
+	// microseconds.
 	P50Micros float64 `json:"p50_us"`
 	P90Micros float64 `json:"p90_us"`
 	P99Micros float64 `json:"p99_us"`
 }
 
 func (rm *routeMetrics) snapshot() RouteSnapshot {
+	q := rm.latency.Quantiles(0.50, 0.90, 0.99)
 	return RouteSnapshot{
-		Count:      rm.count.Load(),
-		Errors:     rm.errors.Load(),
-		MeanMicros: rm.latency.mean(),
-		P50Micros:  rm.latency.quantile(0.50),
-		P90Micros:  rm.latency.quantile(0.90),
-		P99Micros:  rm.latency.quantile(0.99),
+		Count:      rm.count.Value(),
+		Errors:     rm.errors.Value(),
+		MeanMicros: rm.latency.Mean(),
+		P50Micros:  float64(q[0]),
+		P90Micros:  float64(q[1]),
+		P99Micros:  float64(q[2]),
 	}
 }

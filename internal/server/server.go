@@ -41,6 +41,7 @@ import (
 	"repro/internal/evserve"
 	"repro/internal/evstore"
 	"repro/internal/llm"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/seed"
 	"repro/internal/sqlengine"
@@ -109,6 +110,16 @@ type Config struct {
 	// ReplicateInterval is the peer WAL poll period; <= 0 uses the
 	// evstore tailer default (200ms).
 	ReplicateInterval time.Duration
+	// TraceCapacity sizes the in-memory trace store: up to TraceCapacity
+	// recent traces plus as many always-kept slow/error traces are
+	// retained behind GET /v1/traces. 0 defaults to 256; negative
+	// disables tracing entirely (requests then pay no span overhead).
+	TraceCapacity int
+	// SlowQueryThreshold gates the structured slow-query log and the
+	// trace store's always-keep classification: requests at or over it
+	// are logged with their trace ID, stage breakdown and SQL, and their
+	// traces survive healthy-traffic churn. <= 0 disables both.
+	SlowQueryThreshold time.Duration
 	// Logger receives structured request logs; nil uses slog.Default().
 	Logger *slog.Logger
 }
@@ -130,6 +141,15 @@ type Server struct {
 	adm    *admission
 	routes map[string]*routeMetrics
 	start  time.Time
+
+	// Observability (see initObs): the shared metrics registry behind
+	// Prometheus /metrics, the bounded trace store behind /v1/traces, the
+	// slow-query log, and the panic counter the recovery middleware
+	// increments.
+	obsReg      *obs.Registry
+	traces      *obs.TraceStore
+	slowlog     *obs.SlowLog
+	panicsTotal *obs.Counter
 
 	// draining flips /healthz?ready to 503 while the server finishes
 	// in-flight work — the router stops sending new requests here, but
@@ -277,10 +297,11 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 
+	s.initObs()
 	for _, route := range []string{
-		pathQuery, pathEvidence, pathDBs, pathExamples, pathReplicate, pathHealthz, pathMetrics,
+		pathQuery, pathEvidence, pathDBs, pathExamples, pathReplicate, pathHealthz, pathMetrics, pathTraces,
 	} {
-		s.routes[route] = newRouteMetrics()
+		s.routes[route] = newRouteMetrics(s.obsReg, route)
 	}
 	return s, nil
 }
@@ -292,6 +313,7 @@ const (
 	pathDBs       = "/v1/dbs"
 	pathExamples  = "/v1/examples"
 	pathReplicate = "/v1/replicate"
+	pathTraces    = "/v1/traces"
 	pathHealthz   = "/healthz"
 	pathMetrics   = "/metrics"
 )
@@ -306,6 +328,10 @@ func (s *Server) Handler() http.Handler {
 	// Replication skips admission: a draining or overloaded replica must
 	// still let its followers catch up on the WAL.
 	mux.Handle("GET "+pathReplicate, s.wrap(pathReplicate, false, s.handleReplicate))
+	// Trace retrieval skips admission for the same reason /metrics does:
+	// the traces explaining an overload must be readable during one.
+	mux.Handle("GET "+pathTraces, s.wrap(pathTraces, false, s.handleTraces))
+	mux.Handle("GET "+pathTraces+"/{id}", s.wrap(pathTraces, false, s.handleTraceByID))
 	mux.Handle("GET "+pathHealthz, s.wrap(pathHealthz, false, s.handleHealthz))
 	mux.Handle("GET "+pathMetrics, s.wrap(pathMetrics, false, s.handleMetrics))
 	return mux
@@ -431,36 +457,85 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if root := obs.CurrentSpan(r.Context()); root != nil {
+		root.SetAttr("db", e.DB)
+		root.SetAttr("example_id", e.ID)
+	}
+
 	evStart := time.Now()
-	ev, err := s.batchers[sess.Corpus].Generate(r.Context(), e.DB, e.Question)
+	evCtx, evSpan := obs.StartSpan(r.Context(), "evidence")
+	ev, err := s.batchers[sess.Corpus].Generate(evCtx, e.DB, e.Question)
 	evDur := time.Since(evStart)
 	if err != nil {
+		evSpan.Fail(err)
 		writeUpstreamError(w, r, "evidence generation", err)
 		return
 	}
+	evSpan.SetAttr("cache_hit", ev.CacheHit)
+	// The evidence's DAG provenance becomes child spans regardless of how
+	// it was served: the batched path runs under the batch's own context
+	// (no per-request spans can flow into it), and a cache hit did not run
+	// the DAG at all this request — either way ev.Trace carries the stage
+	// breakdown, anchored here at this request's evidence phase start.
+	if ev.Trace != nil {
+		for _, st := range ev.Trace.Stages {
+			var attrs map[string]any
+			if st.CacheHit || st.Tokens > 0 {
+				attrs = make(map[string]any, 2)
+				if st.CacheHit {
+					attrs["memo_hit"] = true
+				}
+				if st.Tokens > 0 {
+					attrs["tokens"] = st.Tokens
+				}
+			}
+			evSpan.Child("stage:"+st.Stage,
+				evStart.Add(time.Duration(st.StartMicros)*time.Microsecond),
+				time.Duration(st.WallMicros)*time.Microsecond, attrs)
+		}
+	}
+	evSpan.End()
 
 	genStart := time.Now()
+	_, genSpan := obs.StartSpan(r.Context(), "generate")
 	sql, err := sess.Gen.Generate(texttosql.Task{Example: e, DB: sess.DB, Evidence: ev.Text})
 	genDur := time.Since(genStart)
 	if err != nil {
+		genSpan.Fail(err)
 		writeError(w, http.StatusInternalServerError, fmt.Sprintf("generation failed: %v", err))
 		return
 	}
+	genSpan.End()
+	if root := obs.CurrentSpan(r.Context()); root != nil {
+		root.SetAttr("sql", sql)
+	}
 
 	prepStart := time.Now()
-	stmt, err := sess.DB.Engine.Prepare(sql)
+	_, prepSpan := obs.StartSpan(r.Context(), "sqlengine.prepare")
+	stmt, planHit, err := sess.DB.Engine.PrepareCached(sql)
 	prepDur := time.Since(prepStart)
 	if err != nil {
+		prepSpan.Fail(err)
 		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("generated SQL does not parse: %v", err))
 		return
 	}
+	prepSpan.SetAttr("plan_cache_hit", planHit)
+	prepSpan.End()
+
 	execStart := time.Now()
+	_, execSpan := obs.StartSpan(r.Context(), "sqlengine.execute")
 	res, err := stmt.Exec()
 	execDur := time.Since(execStart)
 	if err != nil {
+		execSpan.Fail(err)
 		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("generated SQL does not execute: %v", err))
 		return
 	}
+	execSpan.SetAttr("cost", res.Cost)
+	if res.Rows != nil {
+		execSpan.SetAttr("rows", len(res.Rows.Data))
+	}
+	execSpan.End()
 
 	resp := QueryResponse{
 		DB:               e.DB,
@@ -777,8 +852,16 @@ func (s *Server) Metrics() MetricsSnapshot {
 	return snap
 }
 
+// handleMetrics serves Prometheus text exposition by default and the
+// legacy JSON snapshot at ?format=json (the shape the CI jq asserts and
+// pre-existing dashboards consume).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Metrics())
+	if isJSONFormat(r) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obsReg.WritePrometheus(w)
 }
 
 // decodeBody parses a JSON request body, answering 400 on malformed input.

@@ -254,7 +254,7 @@ func TestMetricsSnapshot(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -601,7 +601,7 @@ func TestMetricsExposeStagesAndBatcherOccupancy(t *testing.T) {
 	}
 
 	// The JSON body carries the same fields.
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

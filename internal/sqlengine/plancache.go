@@ -44,16 +44,25 @@ func (s *Stmt) Exec() (*Result, error) {
 // (a failed prediction is scored once), and caching only successes keeps
 // the cache a pure AST store.
 func (db *Database) Prepare(sql string) (*Stmt, error) {
+	st, _, err := db.PrepareCached(sql)
+	return st, err
+}
+
+// PrepareCached is Prepare plus a per-call plan-cache-hit indicator —
+// the form the serving layer uses to attribute cache behaviour to an
+// individual request (the aggregate PlanCacheStats counters cannot be
+// attributed to one call under concurrency).
+func (db *Database) PrepareCached(sql string) (*Stmt, bool, error) {
 	if st, ok := db.plans.get(sql); ok {
-		return st, nil
+		return st, true, nil
 	}
 	ast, err := Parse(sql)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	st := &Stmt{db: db, src: sql, ast: ast, plans: planStatement(ast)}
 	db.plans.put(sql, st)
-	return st, nil
+	return st, false, nil
 }
 
 // PlanCacheStats is a snapshot of the prepared-plan cache counters.
