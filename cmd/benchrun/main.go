@@ -13,6 +13,7 @@
 //	benchrun -scalebench BENCH_scale.json      # emit the scale snapshot (1k/100k/1M-row synthetic corpora) and exit
 //	benchrun -fleetbench BENCH_fleet.json      # emit the fleet fault-tolerance snapshot (QPS scaling, chaos, failover) and exit
 //	benchrun -obsbench BENCH_obs.json          # emit the observability snapshot (tracing on/off overhead, routed-trace coverage) and exit
+//	benchrun -enginebench BENCH_engine.json    # emit the columnar/parallel execution snapshot (vectorized + morsel-parallel vs row-wise) and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -39,6 +40,7 @@ func main() {
 	scaleBench := flag.String("scalebench", "", "write the scale perf snapshot (synthetic corpora at 1k/100k/1M rows: generation, engine planner on/off, serving QPS) to this JSON file and exit")
 	fleetBench := flag.String("fleetbench", "", "write the fleet fault-tolerance snapshot (routed QPS scaling 1 vs 3 replicas, p99 under injected chaos, failover takeover time) to this JSON file and exit")
 	obsBench := flag.String("obsbench", "", "write the observability snapshot (serving QPS with tracing+metrics on vs off, routed-trace span coverage) to this JSON file and exit")
+	engineBench := flag.String("enginebench", "", "write the columnar/parallel execution snapshot (row-wise vs vectorized vs N-core morsel-parallel on 100k/1M synth corpora, plus cost-invariance check) to this JSON file and exit")
 	storeDir := flag.String("store-dir", "", "durable evidence store directory for the experiment drivers (same layout as seedd -store-dir): repeat runs replay instead of regenerating")
 	flag.Parse()
 
@@ -87,6 +89,13 @@ func main() {
 	if *obsBench != "" {
 		if err := writeObsBench(*obsBench, *seedFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "obsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *engineBench != "" {
+		if err := writeEngineParBench(*engineBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "enginebench: %v\n", err)
 			os.Exit(1)
 		}
 		return

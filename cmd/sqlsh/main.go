@@ -88,7 +88,7 @@ func main() {
 			if timing {
 				state = "on"
 			}
-			fmt.Printf("timing %s (prepare vs execute, via the prepared-plan cache)\n", state)
+			fmt.Printf("timing %s (prepare vs execute, via the prepared-plan cache, plus execution mode)\n", state)
 			fmt.Print("> ")
 			continue
 		}
@@ -147,6 +147,8 @@ func run(db *schema.DB, sql string, timing, tracing bool) {
 					esp.SetAttr("rows", len(res.Rows.Data))
 				}
 				esp.SetAttr("cost", res.Cost)
+				esp.SetAttr("batches", res.Batches)
+				esp.SetAttr("parallel_workers", res.Workers)
 				esp.End()
 			}
 		}
@@ -174,8 +176,17 @@ func run(db *schema.DB, sql string, timing, tracing bool) {
 			if cacheHit {
 				source = "plan cache hit"
 			}
-			fmt.Printf("timing: prepare %v (%s), execute %v\n",
-				prepTime.Round(time.Microsecond), source, execTime.Round(time.Microsecond))
+			// Physical execution mode: row-at-a-time (serial) vs vectorized
+			// batches, and the widest parallel fan-out any operator reached.
+			mode := "serial"
+			if res.Batches > 0 {
+				mode = fmt.Sprintf("vectorized, %d batches", res.Batches)
+			}
+			if res.Workers > 1 {
+				mode += fmt.Sprintf(", %d workers", res.Workers)
+			}
+			fmt.Printf("timing: prepare %v (%s), execute %v (%s)\n",
+				prepTime.Round(time.Microsecond), source, execTime.Round(time.Microsecond), mode)
 		}()
 	}
 	if err != nil {

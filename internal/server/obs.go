@@ -56,6 +56,9 @@ func (s *Server) initObs() {
 			return agg
 		}, obs.L("corpus", name))
 	}
+	// Batch/parallel execution counters are engine-process globals, not
+	// per-corpus: register once.
+	sqlengine.RegisterEngineExecMetrics(s.obsReg)
 }
 
 // Registry exposes the server's metrics registry (for benchmarks and

@@ -84,6 +84,14 @@ func TestRoutedQueryTraceEndToEnd(t *testing.T) {
 		if strings.HasPrefix(sp.Name, "stage:") {
 			stages++
 		}
+		if sp.Name == "sqlengine.execute" {
+			// The execute span must describe the physical execution mode.
+			for _, attr := range []string{"batches", "parallel_workers"} {
+				if _, ok := sp.Attrs[attr]; !ok {
+					t.Errorf("sqlengine.execute span missing %q attr (got %v)", attr, sp.Attrs)
+				}
+			}
+		}
 	}
 	for _, want := range []string{
 		"router.forward", "request", "admission", "evidence",

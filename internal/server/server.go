@@ -532,6 +532,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	execSpan.SetAttr("cost", res.Cost)
+	execSpan.SetAttr("batches", res.Batches)
+	execSpan.SetAttr("parallel_workers", res.Workers)
 	if res.Rows != nil {
 		execSpan.SetAttr("rows", len(res.Rows.Data))
 	}

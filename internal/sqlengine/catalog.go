@@ -24,11 +24,12 @@ type Table struct {
 
 	colIndex map[string]int // lower-case column name -> position
 
-	// idxMu guards eqIdx. Indexes are built lazily by concurrent read-only
-	// queries; any DML drops them (the Database contract already forbids
-	// mutation concurrent with queries).
-	idxMu sync.Mutex
-	eqIdx map[int]*colEqIndex // column position -> equality index
+	// idxMu guards eqIdx and colVecs. Indexes and column vectors are built
+	// lazily by concurrent read-only queries; any DML drops them (the
+	// Database contract already forbids mutation concurrent with queries).
+	idxMu   sync.Mutex
+	eqIdx   map[int]*colEqIndex // column position -> equality index
+	colVecs map[int]*colVec     // column position -> columnar shadow (vector.go)
 }
 
 // colEqIndex is a lazily built point-lookup index over one column: the
@@ -75,11 +76,14 @@ func (t *Table) eqLookup(col int, key string) []int {
 	return idx.buckets[key]
 }
 
-// invalidateIndexes drops all lazily built equality indexes. Every DML path
-// (INSERT/UPDATE/DELETE) calls it so index reads never see stale rows.
+// invalidateIndexes drops all lazily built equality indexes and column
+// vectors. Every DML path (INSERT/UPDATE/DELETE) calls it so index and
+// vector reads never see stale rows. (BulkInsert instead extends the
+// vectors in place — see Table.noteBulkAppend.)
 func (t *Table) invalidateIndexes() {
 	t.idxMu.Lock()
 	t.eqIdx = nil
+	t.colVecs = nil
 	t.idxMu.Unlock()
 }
 
@@ -119,6 +123,14 @@ type Database struct {
 
 	plans      *planCache
 	plannerOff bool
+
+	// Batch-execution knobs (see parallel.go). Zero values mean defaults:
+	// vectorized execution on, parallelism = GOMAXPROCS, threshold
+	// constants from parallel.go.
+	vectorOff  bool
+	workers    int
+	minVecRows int
+	minParRows int
 }
 
 // NewDatabase returns an empty database with the given name.
@@ -132,6 +144,38 @@ func NewDatabase(name string) *Database {
 // produces identical rows and identical Cost — the switch exists for the
 // equivalence tests and the nested-vs-hash benchmarks.
 func (db *Database) SetPlanner(enabled bool) { db.plannerOff = !enabled }
+
+// SetVectorized enables or disables the columnar batch executor (vectorized
+// scan-filter kernels, morsel-parallel filters, joins and grouping; see
+// parallel.go). It is on by default and engages only for planned execution;
+// turning it off forces the row-at-a-time interpreter everywhere. Like
+// SetPlanner, the switch changes only the physical execution: rows, row
+// order, errors and the logical Result.Cost are identical either way — the
+// property the vectorized-on/off × planner-on/off equivalence tests pin.
+func (db *Database) SetVectorized(enabled bool) { db.vectorOff = !enabled }
+
+// SetParallelism caps the number of worker goroutines a single batch
+// operator may use. 0 (the default) means GOMAXPROCS; 1 forces serial
+// batch execution (vectorized kernels still apply). The cap is a request:
+// workers beyond the first are borrowed from a process-wide per-core pool
+// and under concurrent query load an operator degrades toward serial
+// rather than oversubscribing the machine.
+func (db *Database) SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.workers = n
+}
+
+// SetBatchTuning overrides the batch executor's engagement thresholds:
+// minVecRows is the smallest table scan that consults the columnar shadow,
+// minParRows the smallest operator input that may fan out to parallel
+// workers. Zero restores the defaults (parallel.go). Intended for tests
+// and benchmarks that need the batch paths to engage on small fixtures.
+func (db *Database) SetBatchTuning(minVecRows, minParRows int) {
+	db.minVecRows = minVecRows
+	db.minParRows = minParRows
+}
 
 // Table returns the named table (case-insensitive).
 func (db *Database) Table(name string) (*Table, bool) {

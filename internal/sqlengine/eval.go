@@ -196,11 +196,15 @@ func (env *evalEnv) evalBinary(b *Binary) (Value, error) {
 // harmonise applies cross-kind coercion before comparison: when one side is
 // numeric and the other is numeric-looking text, the text is coerced.
 func harmonise(a, b Value) (Value, Value) {
-	if a.IsNumeric() && b.Kind == KindText && looksNumeric(strings.TrimSpace(b.S)) {
-		return a, Float(b.AsFloat())
+	if a.IsNumeric() && b.Kind == KindText {
+		if f, ok := numericText(b.S); ok {
+			return a, Float(f)
+		}
 	}
-	if b.IsNumeric() && a.Kind == KindText && looksNumeric(strings.TrimSpace(a.S)) {
-		return Float(a.AsFloat()), b
+	if b.IsNumeric() && a.Kind == KindText {
+		if f, ok := numericText(a.S); ok {
+			return Float(f), b
+		}
 	}
 	return a, b
 }

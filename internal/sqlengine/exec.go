@@ -26,6 +26,13 @@ type Result struct {
 	Rows         *Rows
 	RowsAffected int64
 	Cost         int64
+	// Batches and Workers describe the *physical* execution and carry no
+	// semantic weight (unlike Cost they may change across engine versions):
+	// Batches counts the morsels processed by batch operators (0 = fully
+	// row-at-a-time execution) and Workers is the widest parallel fan-out
+	// any single operator reached (1 = serial).
+	Batches int64
+	Workers int
 }
 
 // Exec parses and executes a single statement. Parsing and planning go
@@ -70,6 +77,16 @@ func (db *Database) ExecStmt(st Statement) (*Result, error) {
 }
 
 func (ec *execCtx) execStatement(st Statement) (*Result, error) {
+	res, err := ec.execStatementInner(st)
+	if err != nil {
+		return nil, err
+	}
+	res.Batches = ec.batches
+	res.Workers = maxInt(ec.maxPar, 1)
+	return res, nil
+}
+
+func (ec *execCtx) execStatementInner(st Statement) (*Result, error) {
 	db := ec.db
 	switch s := st.(type) {
 	case *SelectStmt:
@@ -113,6 +130,14 @@ type execCtx struct {
 	db    *Database
 	cost  int64
 	plans map[*SelectStmt]*selectPlan
+	// vec enables the columnar batch paths (vector.go, kernels.go,
+	// parallel.go). It is only ever true for planned execution, so
+	// planner-off remains the pristine serial reference implementation.
+	vec bool
+	// Physical execution stats, written only by the coordinating
+	// goroutine (batchRun): morsels processed, widest worker fan-out.
+	batches int64
+	maxPar  int
 	// Uncorrelated-subquery memo, per statement execution: results keyed
 	// by subquery node, plus the cached correlation verdict (see
 	// subquery.go).
@@ -325,9 +350,15 @@ func (ec *execCtx) execSelectPlanned(sel *SelectStmt, outer *scope, pl *selectPl
 		// Pushdown ran: pushed conjuncts were applied during the scans and
 		// every conjunct is safe-total, so a row passes the original WHERE
 		// iff every residual conjunct is true on it.
-		if len(fp.residual) == 0 {
+		switch {
+		case len(fp.residual) == 0:
 			filtered = src.rows
-		} else {
+		case ec.useBatch(len(src.rows)):
+			filtered, err = ec.filterIntermediate(src.cols, src.rows, fp.residual, outer)
+			if err != nil {
+				return nil, err
+			}
+		default:
 			sc := &scope{cols: src.cols, parent: outer}
 			env := &evalEnv{ec: ec, sc: sc}
 			for _, row := range src.rows {
@@ -349,16 +380,31 @@ func (ec *execCtx) execSelectPlanned(sel *SelectStmt, outer *scope, pl *selectPl
 			}
 		}
 	} else if sel.Where != nil {
-		sc := &scope{cols: src.cols, parent: outer}
-		env := &evalEnv{ec: ec, sc: sc}
-		for _, row := range src.rows {
-			sc.row = row
-			v, err := env.eval(sel.Where)
+		// Without pushdown the WHERE can still run as a batch filter when
+		// the plan proves every conjunct safe-total: the AND-tree passes
+		// iff every conjunct is true, and short-circuit differences are
+		// unobservable on pure total expressions.
+		if pl != nil && pl.whereSafe && len(pl.where) > 0 && ec.useBatch(len(src.rows)) {
+			exprs := make([]Expr, len(pl.where))
+			for i, c := range pl.where {
+				exprs[i] = c.expr
+			}
+			filtered, err = ec.filterIntermediate(src.cols, src.rows, exprs, outer)
 			if err != nil {
 				return nil, err
 			}
-			if t, known := v.Truth(); t && known {
-				filtered = append(filtered, row)
+		} else {
+			sc := &scope{cols: src.cols, parent: outer}
+			env := &evalEnv{ec: ec, sc: sc}
+			for _, row := range src.rows {
+				sc.row = row
+				v, err := env.eval(sel.Where)
+				if err != nil {
+					return nil, err
+				}
+				if t, known := v.Truth(); t && known {
+					filtered = append(filtered, row)
+				}
 			}
 		}
 	} else {
@@ -369,9 +415,11 @@ func (ec *execCtx) execSelectPlanned(sel *SelectStmt, outer *scope, pl *selectPl
 	out := &selOutput{columns: projectionNames(sel, src)}
 
 	if grouped {
-		if err := ec.projectGrouped(sel, src, filtered, outer, out); err != nil {
+		if err := ec.projectGrouped(sel, src, filtered, outer, out, pl); err != nil {
 			return nil, err
 		}
+	} else if ixs, ok := ec.planFastProjection(sel, src, out.columns); ok && ec.useBatch(len(filtered)) {
+		ec.projectIndexed(filtered, ixs, out)
 	} else {
 		for _, row := range filtered {
 			sc := &scope{cols: src.cols, row: row, parent: outer}
@@ -577,19 +625,30 @@ func (ec *execCtx) projectRow(sel *SelectStmt, src *rowSet, env *evalEnv) ([]Val
 	return vals, nil
 }
 
+// rowGroup is one GROUP BY partition: the representative scope (first row
+// in input order) and every member row's scope.
+type rowGroup struct {
+	rep  *scope
+	rows []*scope
+}
+
 // projectGrouped partitions rows into groups, applies HAVING, and projects
-// the select list with aggregate support.
-func (ec *execCtx) projectGrouped(sel *SelectStmt, src *rowSet, rows [][]Value, outer *scope, out *selOutput) error {
-	type group struct {
-		rep  *scope
-		rows []*scope
-	}
-	var groups []*group
+// the select list with aggregate support. With a plan that proves the
+// GROUP BY keys safe-total, the partitioning runs morsel-parallel: workers
+// build per-morsel group fragments in first-seen order, and the
+// coordinator merges fragments in morsel order, which reproduces the
+// serial first-seen group order exactly. When HAVING and every projection
+// item are aggregate-safe as well (aggExprSafeTotal), the per-group
+// evaluation also fans out, each group still computed serially over its
+// rows in input order — float aggregate accumulation order is preserved,
+// so results stay byte-identical.
+func (ec *execCtx) projectGrouped(sel *SelectStmt, src *rowSet, rows [][]Value, outer *scope, out *selOutput, pl *selectPlan) error {
+	var groups []*rowGroup
 	if len(sel.GroupBy) == 0 {
 		// Single implicit group (possibly empty: COUNT over no rows). The
 		// rows slice stays non-nil so aggregate evaluation recognises the
 		// grouped context even for the empty group.
-		g := &group{rows: make([]*scope, 0, len(rows))}
+		g := &rowGroup{rows: make([]*scope, 0, len(rows))}
 		for _, row := range rows {
 			sc := &scope{cols: src.cols, row: row, parent: outer}
 			if g.rep == nil {
@@ -601,25 +660,32 @@ func (ec *execCtx) projectGrouped(sel *SelectStmt, src *rowSet, rows [][]Value, 
 			g.rep = &scope{cols: src.cols, row: make([]Value, len(src.cols)), parent: outer}
 		}
 		groups = append(groups, g)
+	} else if pl != nil && pl.groupBySafe && ec.useBatch(len(rows)) {
+		var err error
+		groups, err = ec.groupMorsels(sel, src, rows, outer)
+		if err != nil {
+			return err
+		}
 	} else {
-		idx := make(map[string]*group)
+		idx := make(map[string]*rowGroup)
 		var order []string
+		var kb []byte
 		for _, row := range rows {
 			sc := &scope{cols: src.cols, row: row, parent: outer}
 			env := &evalEnv{ec: ec, sc: sc}
-			var kb strings.Builder
+			kb = kb[:0]
 			for _, ge := range sel.GroupBy {
 				v, err := env.eval(ge)
 				if err != nil {
 					return err
 				}
-				kb.WriteString(v.Key())
-				kb.WriteByte('\x00')
+				kb = v.AppendKey(kb)
+				kb = append(kb, '\x00')
 			}
-			k := kb.String()
+			k := string(kb)
 			g, ok := idx[k]
 			if !ok {
-				g = &group{rep: sc}
+				g = &rowGroup{rep: sc}
 				idx[k] = g
 				order = append(order, k)
 			}
@@ -630,6 +696,9 @@ func (ec *execCtx) projectGrouped(sel *SelectStmt, src *rowSet, rows [][]Value, 
 		}
 	}
 
+	if pl != nil && pl.aggProjSafe && ec.vec && len(groups) > 1 && len(rows) >= ec.minParRows() {
+		return ec.projectGroupsParallel(sel, src, groups, out)
+	}
 	for _, g := range groups {
 		env := &evalEnv{ec: ec, sc: g.rep, group: g.rows}
 		if sel.Having != nil {
@@ -648,6 +717,204 @@ func (ec *execCtx) projectGrouped(sel *SelectStmt, src *rowSet, rows [][]Value, 
 		out.add(vals, env)
 	}
 	return nil
+}
+
+// groupMorsels is the parallel GROUP BY partitioning phase: per-morsel
+// group fragments built by workers, merged by the coordinator in morsel
+// order so first-seen group order matches the serial loop.
+func (ec *execCtx) groupMorsels(sel *SelectStmt, src *rowSet, rows [][]Value, outer *scope) ([]*rowGroup, error) {
+	type fragment struct {
+		order []string
+		m     map[string]*rowGroup
+		err   error
+	}
+	nm := morselCount(len(rows))
+	frags := make([]fragment, nm)
+	ec.batchRun(nm, len(rows), nil, func(w, m int) {
+		lo, hi := morselBounds(m, len(rows))
+		fr := fragment{m: make(map[string]*rowGroup)}
+		var kb []byte
+		for i := lo; i < hi; i++ {
+			sc := &scope{cols: src.cols, row: rows[i], parent: outer}
+			env := &evalEnv{ec: ec, sc: sc}
+			kb = kb[:0]
+			for _, ge := range sel.GroupBy {
+				v, err := env.eval(ge)
+				if err != nil {
+					fr.err = err
+					frags[m] = fr
+					return
+				}
+				kb = v.AppendKey(kb)
+				kb = append(kb, '\x00')
+			}
+			k := string(kb)
+			g, ok := fr.m[k]
+			if !ok {
+				g = &rowGroup{rep: sc}
+				fr.m[k] = g
+				fr.order = append(fr.order, k)
+			}
+			g.rows = append(g.rows, sc)
+		}
+		frags[m] = fr
+	})
+	idx := make(map[string]*rowGroup)
+	var groups []*rowGroup
+	for _, fr := range frags {
+		if fr.err != nil {
+			return nil, fr.err
+		}
+		for _, k := range fr.order {
+			part := fr.m[k]
+			g, ok := idx[k]
+			if !ok {
+				idx[k] = part
+				groups = append(groups, part)
+				continue
+			}
+			g.rows = append(g.rows, part.rows...)
+		}
+	}
+	return groups, nil
+}
+
+// projectGroupsParallel evaluates HAVING and the projection per group with
+// one group per work unit, emitting surviving groups in group order. Only
+// called when every evaluated expression is aggregate-safe (no subqueries,
+// no possible cost charge; errors are row-independent), so worker-local
+// environments are sound and the first error in group order matches the
+// serial loop's error.
+func (ec *execCtx) projectGroupsParallel(sel *SelectStmt, src *rowSet, groups []*rowGroup, out *selOutput) error {
+	vals := make([][]Value, len(groups))
+	keep := make([]bool, len(groups))
+	envs := make([]*evalEnv, len(groups))
+	errs := make([]error, len(groups))
+	totalRows := 0
+	for _, g := range groups {
+		totalRows += len(g.rows)
+	}
+	ec.batchRun(len(groups), totalRows, nil, func(w, gi int) {
+		g := groups[gi]
+		env := &evalEnv{ec: ec, sc: g.rep, group: g.rows}
+		if sel.Having != nil {
+			hv, err := env.eval(sel.Having)
+			if err != nil {
+				errs[gi] = err
+				return
+			}
+			if t, known := hv.Truth(); !t || !known {
+				return
+			}
+		}
+		v, err := ec.projectRow(sel, src, env)
+		if err != nil {
+			errs[gi] = err
+			return
+		}
+		vals[gi], envs[gi], keep[gi] = v, env, true
+	})
+	for gi := range groups {
+		if errs[gi] != nil {
+			return errs[gi]
+		}
+		if keep[gi] {
+			out.add(vals[gi], envs[gi])
+		}
+	}
+	return nil
+}
+
+// planFastProjection decides whether the select list can run as a pure
+// index gather — every item a star or a uniquely resolving column
+// reference — and whether every ORDER BY term is static (ordinal or
+// output-column name), since gathered rows carry no evaluation
+// environment for ORDER BY expressions to use. Any resolution failure
+// falls back to the interpreted path so the naive error surfaces
+// verbatim.
+func (ec *execCtx) planFastProjection(sel *SelectStmt, src *rowSet, columns []string) ([]int, bool) {
+	if !ec.vec {
+		return nil, false
+	}
+	var ixs []int
+	for _, item := range sel.Columns {
+		switch {
+		case item.Star && item.StarTable == "":
+			for i := range src.cols {
+				ixs = append(ixs, i)
+			}
+		case item.Star:
+			lt := strings.ToLower(item.StarTable)
+			matched := false
+			for i, c := range src.cols {
+				if c.table == lt {
+					ixs = append(ixs, i)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, false
+			}
+		default:
+			cr, ok := item.Expr.(*ColumnRef)
+			if !ok || cr.Name == "*" {
+				return nil, false
+			}
+			idx, n := resolveCols(src.cols, cr.Table, cr.Name)
+			if n != 1 {
+				return nil, false
+			}
+			ixs = append(ixs, idx)
+		}
+	}
+	for _, ob := range sel.OrderBy {
+		if lit, ok := ob.Expr.(*Literal); ok && lit.Val.Kind == KindInt {
+			if idx := int(lit.Val.I) - 1; idx >= 0 && idx < len(columns) {
+				continue
+			}
+			return nil, false
+		}
+		if cr, ok := ob.Expr.(*ColumnRef); ok && cr.Table == "" {
+			found := false
+			for _, c := range columns {
+				if strings.EqualFold(c, cr.Name) {
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+		}
+		return nil, false
+	}
+	return ixs, true
+}
+
+// projectIndexed gathers the projected columns per row, morsel-parallel,
+// with nil environments (planFastProjection guaranteed nothing will need
+// them).
+func (ec *execCtx) projectIndexed(rows [][]Value, ixs []int, out *selOutput) {
+	nm := morselCount(len(rows))
+	outs := make([][][]Value, nm)
+	ec.batchRun(nm, len(rows), nil, func(w, m int) {
+		lo, hi := morselBounds(m, len(rows))
+		part := make([][]Value, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			row := rows[i]
+			vals := make([]Value, len(ixs))
+			for k, ix := range ixs {
+				vals[k] = row[ix]
+			}
+			part = append(part, vals)
+		}
+		outs[m] = part
+	})
+	for _, part := range outs {
+		for _, vals := range part {
+			out.add(vals, nil)
+		}
+	}
 }
 
 // --- FROM evaluation ---
@@ -725,6 +992,7 @@ func (ec *execCtx) execFromItem(item *FromItem, outer *scope, pushed []conjunct)
 	// candidate still passes through the full pushed-conjunct filter below,
 	// which re-verifies the indexed equality with real `=` semantics.
 	rows := t.Rows
+	narrowed := false
 	for _, c := range pushed {
 		if c.eqLit == nil {
 			continue
@@ -742,7 +1010,21 @@ func (ec *execCtx) execFromItem(item *FromItem, outer *scope, pushed []conjunct)
 		for i, ri := range bucket {
 			rows[i] = t.Rows[ri]
 		}
+		narrowed = true
 		break
+	}
+
+	// Vectorized scan filter: compile the pushed conjuncts into kernels
+	// over the table's columnar shadow and evaluate morsel-parallel. Only
+	// for full scans — an index-narrowed candidate list no longer aligns
+	// positionally with the column vectors and is small anyway.
+	if !narrowed && ec.useBatch(len(t.Rows)) {
+		filtered, err := ec.filterScan(t, rs.cols, pushed, outer)
+		if err != nil {
+			return nil, err
+		}
+		rs.rows = filtered
+		return rs, nil
 	}
 
 	sc := &scope{cols: rs.cols, parent: outer}

@@ -4,7 +4,11 @@ package sqlengine
 // ON conjunction (joinAnalysis); this file resolves the equi conditions
 // against the actual input relations and, when at least one resolves
 // cleanly, replaces the O(|L|·|R|) nested loop with an O(|L|+|R|+matches)
-// build/probe join.
+// build/probe join. For large probe inputs the probe/emission phase runs
+// morsel-parallel (parallel.go): the build side is hashed once by the
+// coordinator, then workers probe disjoint left-row morsels with worker-
+// local pair buffers and environments, and the per-morsel outputs are
+// concatenated in morsel order.
 //
 // Equivalence with the nested loop is structural:
 //
@@ -15,9 +19,13 @@ package sqlengine
 //     wrong row.
 //   - Order: pairs are emitted in left-row-major order with right matches
 //     ascending — exactly the nested loop's emission order — regardless of
-//     which side the hash table is built on.
+//     which side the hash table is built on, and regardless of how many
+//     workers probe (each morsel is a contiguous left-row range and the
+//     merge is in morsel order).
 //   - Cost: the caller (join) has already charged |L|·|R| logical pairs
 //     before this function runs, identical to the naive loop's total.
+//     Residual conjuncts are safe-total by the planner's gate, so probing
+//     them concurrently cannot charge cost or raise row-dependent errors.
 
 // equiCond is one resolved hash condition: column positions in the left
 // and right input relations.
@@ -64,30 +72,107 @@ func resolveHashJoin(left, right *rowSet, ja *joinAnalysis, outer *scope) (equis
 	return equis, residual, true
 }
 
+// probeState is the worker-local mutable state of one probe goroutine:
+// the reusable pair buffer and environment for residual evaluation, and
+// the reusable key buffer.
+type probeState struct {
+	buf []Value
+	env *evalEnv
+	key []byte
+}
+
+// joinRowKey appends the coarse equi-key of row (using side to pick the
+// column per condition) to buf. ok is false when any key column is NULL —
+// NULL never equi-matches; the row can only surface via LEFT JOIN
+// null-extension.
+func joinRowKey(buf []byte, row []Value, equis []equiCond, side func(equiCond) int) (out []byte, key string, ok bool) {
+	buf = buf[:0]
+	for _, eq := range equis {
+		v := row[side(eq)]
+		if v.IsNull() {
+			return buf, "", false
+		}
+		buf = coarseKey(buf, v)
+		buf = append(buf, 0)
+	}
+	return buf, string(buf), true
+}
+
+// probeMorsels drives the probe phase: probeOne(state, li, dst) processes
+// left row li, appending emitted rows to dst. Large inputs fan out over
+// left-row morsels with per-worker state; the serial path reuses one
+// state and emits directly, exactly like the pre-parallel code.
+func (ec *execCtx) probeMorsels(nLeft int, newState func() *probeState, probeOne func(p *probeState, li int, dst [][]Value) ([][]Value, error)) ([][]Value, error) {
+	if !ec.useBatch(nLeft) {
+		p := newState()
+		var out [][]Value
+		for li := 0; li < nLeft; li++ {
+			var err error
+			out, err = probeOne(p, li, out)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	nm := morselCount(nLeft)
+	outs := make([][][]Value, nm)
+	errs := make([]error, nm)
+	var states []*probeState
+	ec.batchRun(nm, nLeft, func(workers int) {
+		states = make([]*probeState, workers)
+	}, func(w, m int) {
+		p := states[w]
+		if p == nil {
+			p = newState()
+			states[w] = p
+		}
+		lo, hi := morselBounds(m, nLeft)
+		var dst [][]Value
+		for li := lo; li < hi; li++ {
+			var err error
+			dst, err = probeOne(p, li, dst)
+			if err != nil {
+				errs[m] = err
+				return
+			}
+		}
+		outs[m] = dst
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return concatRowMorsels(outs), nil
+}
+
 // hashJoin executes the join with the given resolved conditions. The
 // logical |L|·|R| cost has already been charged by the caller.
 func (ec *execCtx) hashJoin(left, right *rowSet, jt JoinType, equis []equiCond, residual []Expr, outer *scope) (*rowSet, error) {
 	cols := make([]scopeCol, 0, len(left.cols)+len(right.cols))
 	cols = append(cols, left.cols...)
 	cols = append(cols, right.cols...)
-	out := &rowSet{cols: cols, rows: make([][]Value, 0, len(left.rows))}
+	out := &rowSet{cols: cols}
 
-	// One reusable pair buffer and environment for residual evaluation;
-	// emitted rows are fresh copies.
-	buf := make([]Value, len(cols))
-	sc := &scope{cols: cols, row: buf, parent: outer}
-	env := &evalEnv{ec: ec, sc: sc}
-	match := func(lr, rr []Value) (bool, error) {
+	newState := func() *probeState {
+		buf := make([]Value, len(cols))
+		return &probeState{
+			buf: buf,
+			env: &evalEnv{ec: ec, sc: &scope{cols: cols, row: buf, parent: outer}},
+		}
+	}
+	match := func(p *probeState, lr, rr []Value) (bool, error) {
 		for _, eq := range equis {
 			if !sqlEq(lr[eq.li], rr[eq.ri]) {
 				return false, nil
 			}
 		}
 		if len(residual) > 0 {
-			copy(buf, lr)
-			copy(buf[len(left.cols):], rr)
+			copy(p.buf, lr)
+			copy(p.buf[len(left.cols):], rr)
 			for _, e := range residual {
-				v, err := env.eval(e)
+				v, err := p.env.eval(e)
 				if err != nil {
 					return false, err
 				}
@@ -98,97 +183,108 @@ func (ec *execCtx) hashJoin(left, right *rowSet, jt JoinType, equis []equiCond, 
 		}
 		return true, nil
 	}
-	emit := func(lr, rr []Value) {
+	emit := func(dst [][]Value, lr, rr []Value) [][]Value {
 		row := make([]Value, 0, len(cols))
 		row = append(row, lr...)
 		row = append(row, rr...)
-		out.rows = append(out.rows, row)
+		return append(dst, row)
 	}
 
-	var keyBuf []byte
-	rowKey := func(row []Value, side func(equiCond) int) (string, bool) {
-		keyBuf = keyBuf[:0]
-		for _, eq := range equis {
-			v := row[side(eq)]
-			if v.IsNull() {
-				// NULL never equi-matches; the row can only surface via
-				// LEFT JOIN null-extension.
-				return "", false
-			}
-			keyBuf = coarseKey(keyBuf, v)
-			keyBuf = append(keyBuf, 0)
-		}
-		return string(keyBuf), true
-	}
 	leftSide := func(eq equiCond) int { return eq.li }
 	rightSide := func(eq equiCond) int { return eq.ri }
-
 	nullRight := make([]Value, len(right.cols))
 
+	var probeOne func(p *probeState, li int, dst [][]Value) ([][]Value, error)
 	if len(right.rows) <= len(left.rows) {
 		// Build on the right (smaller) side; probe with left rows in
 		// order. Buckets hold right positions ascending, so emission is
 		// nested-loop order for free.
 		buckets := make(map[string][]int, len(right.rows))
+		var keyBuf []byte
 		for ri, rr := range right.rows {
-			if k, ok := rowKey(rr, rightSide); ok {
+			var k string
+			var ok bool
+			keyBuf, k, ok = joinRowKey(keyBuf, rr, equis, rightSide)
+			if ok {
 				buckets[k] = append(buckets[k], ri)
 			}
 		}
-		for _, lr := range left.rows {
+		probeOne = func(p *probeState, li int, dst [][]Value) ([][]Value, error) {
+			lr := left.rows[li]
 			matched := false
-			if k, ok := rowKey(lr, leftSide); ok {
+			var k string
+			var ok bool
+			p.key, k, ok = joinRowKey(p.key, lr, equis, leftSide)
+			if ok {
 				for _, ri := range buckets[k] {
-					hit, err := match(lr, right.rows[ri])
+					hit, err := match(p, lr, right.rows[ri])
 					if err != nil {
 						return nil, err
 					}
 					if hit {
 						matched = true
-						emit(lr, right.rows[ri])
+						dst = emit(dst, lr, right.rows[ri])
 					}
 				}
 			}
 			if jt == JoinLeft && !matched {
-				emit(lr, nullRight)
+				dst = emit(dst, lr, nullRight)
 			}
+			return dst, nil
 		}
 	} else {
 		// Build on the left (smaller) side; probe with right rows,
 		// collecting candidate right positions per left row, then emit in
 		// left-major order. Candidates arrive in right-row order, so the
-		// per-left lists are ascending.
+		// per-left lists are ascending. The emission phase is what fans
+		// out; the candidate collection is cheap hash lookups and stays on
+		// the coordinator.
 		buckets := make(map[string][]int, len(left.rows))
+		var keyBuf []byte
 		for li, lr := range left.rows {
-			if k, ok := rowKey(lr, leftSide); ok {
+			var k string
+			var ok bool
+			keyBuf, k, ok = joinRowKey(keyBuf, lr, equis, leftSide)
+			if ok {
 				buckets[k] = append(buckets[k], li)
 			}
 		}
 		cand := make([][]int, len(left.rows))
 		for ri, rr := range right.rows {
-			if k, ok := rowKey(rr, rightSide); ok {
+			var k string
+			var ok bool
+			keyBuf, k, ok = joinRowKey(keyBuf, rr, equis, rightSide)
+			if ok {
 				for _, li := range buckets[k] {
 					cand[li] = append(cand[li], ri)
 				}
 			}
 		}
-		for li, lr := range left.rows {
+		probeOne = func(p *probeState, li int, dst [][]Value) ([][]Value, error) {
+			lr := left.rows[li]
 			matched := false
 			for _, ri := range cand[li] {
-				hit, err := match(lr, right.rows[ri])
+				hit, err := match(p, lr, right.rows[ri])
 				if err != nil {
 					return nil, err
 				}
 				if hit {
 					matched = true
-					emit(lr, right.rows[ri])
+					dst = emit(dst, lr, right.rows[ri])
 				}
 			}
 			if jt == JoinLeft && !matched {
-				emit(lr, nullRight)
+				dst = emit(dst, lr, nullRight)
 			}
+			return dst, nil
 		}
 	}
+
+	rows, err := ec.probeMorsels(len(left.rows), newState, probeOne)
+	if err != nil {
+		return nil, err
+	}
+	out.rows = rows
 	out.logical = len(out.rows)
 	return out, nil
 }

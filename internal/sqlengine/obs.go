@@ -19,3 +19,16 @@ func RegisterPlanCacheMetrics(reg *obs.Registry, stats func() PlanCacheStats, la
 	reg.GaugeFunc("sqlengine_plan_cache_entries", "Currently cached plans.",
 		func() float64 { return float64(stats().Entries) }, labels...)
 }
+
+// RegisterEngineExecMetrics publishes the process-wide batch-execution
+// counters (parallel.go) into reg as gauge callbacks. These are engine
+// globals, not per-database, so one registration per process suffices.
+func RegisterEngineExecMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("sqlengine_engine_batches_total", "Morsels processed by batch (vectorized/parallel) operators.",
+		func() float64 { return float64(engineBatchesTotal.Load()) }, labels...)
+	reg.GaugeFunc("sqlengine_engine_parallel_ops_total", "Batch operators that executed with more than one worker.",
+		func() float64 { return float64(engineParallelOpsTotal.Load()) }, labels...)
+}

@@ -30,7 +30,7 @@ func (s *Stmt) Exec() (*Result, error) {
 	if s.db.plannerOff {
 		plans = nil
 	}
-	ec := &execCtx{db: s.db, plans: plans}
+	ec := &execCtx{db: s.db, plans: plans, vec: plans != nil && !s.db.vectorOff}
 	return ec.execStatement(s.ast)
 }
 

@@ -172,6 +172,26 @@ func (v Value) Truth() (truth, known bool) {
 	}
 }
 
+// numericText reports whether s is numeric-looking text — the trigger for
+// harmonise's affinity coercion — and returns the REAL value the coercion
+// would produce. It is the single definition of "numeric-looking text"
+// shared by the row interpreter (harmonise), the planner's coarse join
+// keys (coarseKey) and the vectorized comparison kernels (kernels.go), so
+// the three can never disagree on a boundary case.
+func numericText(s string) (float64, bool) {
+	ts := strings.TrimSpace(s)
+	if !looksNumeric(ts) {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(ts, 64)
+	if err != nil {
+		// Still coerced: AsFloat yields 0 for unparseable text, and the
+		// coercion decision is looksNumeric's, not the parser's.
+		return 0, true
+	}
+	return f, true
+}
+
 // formatFloat renders a REAL like SQLite does: integral values get a
 // trailing ".0" so that REAL and INTEGER remain distinguishable as text.
 func formatFloat(f float64) string {

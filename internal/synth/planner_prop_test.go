@@ -4,14 +4,18 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/schema"
 	"repro/internal/sqlengine"
 )
 
 // TestPlannerEquivalenceOnSynthCorpora is the scale extension of the
-// engine's planner-on/off quick-check: randomized synthetic databases plus
-// synthesized workloads, executed through both paths, must agree on every
-// row AND on the logical Result.Cost (the cost model is defined to be
-// plan-independent).
+// engine's planner-on/off quick-check, widened into a three-way property
+// test over the execution matrix: randomized synthetic databases plus
+// synthesized workloads are executed (1) naive, (2) planned row-at-a-time,
+// and (3) planned + vectorized with parallel morsel workers, and all three
+// must agree on every row AND on the logical Result.Cost (the cost model
+// is defined to be independent of the physical plan — of both the
+// planner's rewrites and the engine's batch/parallel execution).
 func TestPlannerEquivalenceOnSynthCorpora(t *testing.T) {
 	src := financialFixture(t)
 	trials := 6
@@ -21,39 +25,50 @@ func TestPlannerEquivalenceOnSynthCorpora(t *testing.T) {
 	}
 	for trial := 0; trial < trials; trial++ {
 		seed := uint64(1000 + trial*17)
-		planned, err := Generate(src, Options{Seed: seed, Rows: ProportionalRows(src, total)})
-		if err != nil {
-			t.Fatal(err)
+		gen := func() *schema.DB {
+			c, err := Generate(src, Options{Seed: seed, Rows: ProportionalRows(src, total)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
 		}
-		naive, err := Generate(src, Options{Seed: seed, Rows: ProportionalRows(src, total)})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if Fingerprint(planned) != Fingerprint(naive) {
-			t.Fatalf("trial %d: two generations from seed %d differ before the planner is even involved", trial, seed)
+		naive, rowwise, vectorized := gen(), gen(), gen()
+		if Fingerprint(naive) != Fingerprint(rowwise) || Fingerprint(naive) != Fingerprint(vectorized) {
+			t.Fatalf("trial %d: generations from seed %d differ before execution is even involved", trial, seed)
 		}
 		naive.Engine.SetPlanner(false)
+		rowwise.Engine.SetVectorized(false)
+		// Force batch + parallel engagement despite the small corpus, so the
+		// kernels and morsel workers actually run on every query shape the
+		// workload synthesizer emits.
+		vectorized.Engine.SetBatchTuning(1, 1)
+		vectorized.Engine.SetParallelism(4)
 
-		qs, err := Workload(planned, 25, seed)
+		qs, err := Workload(naive, 25, seed)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, q := range qs {
-			a, errA := planned.Engine.Exec(q.SQL)
-			b, errB := naive.Engine.Exec(q.SQL)
-			if (errA == nil) != (errB == nil) {
-				t.Fatalf("trial %d: %q: planner=%v naive=%v", trial, q.SQL, errA, errB)
-			}
-			if errA != nil {
-				continue
-			}
-			if !resultRowsIdentical(a.Rows, b.Rows) {
-				t.Fatalf("trial %d: %q: planner and naive rows differ\nplanner: %v\nnaive:   %v",
-					trial, q.SQL, a.Rows.Data, b.Rows.Data)
-			}
-			if a.Cost != b.Cost {
-				t.Fatalf("trial %d: %q: logical cost differs: planner %d vs naive %d — Cost must be plan-independent",
-					trial, q.SQL, a.Cost, b.Cost)
+			ref, errRef := naive.Engine.Exec(q.SQL)
+			for _, alt := range []struct {
+				name string
+				c    *schema.DB
+			}{{"planned", rowwise}, {"planned+vectorized", vectorized}} {
+				got, errGot := alt.c.Engine.Exec(q.SQL)
+				if (errRef == nil) != (errGot == nil) {
+					t.Fatalf("trial %d: %q: naive err=%v, %s err=%v", trial, q.SQL, errRef, alt.name, errGot)
+				}
+				if errRef != nil {
+					continue
+				}
+				if !resultRowsIdentical(ref.Rows, got.Rows) {
+					t.Fatalf("trial %d: %q: %s rows differ from naive\nnaive: %v\n%s: %v",
+						trial, q.SQL, alt.name, ref.Rows.Data, alt.name, got.Rows.Data)
+				}
+				if ref.Cost != got.Cost {
+					t.Fatalf("trial %d: %q: logical cost differs: naive %d vs %s %d — Cost must be plan-independent",
+						trial, q.SQL, ref.Cost, alt.name, got.Cost)
+				}
 			}
 		}
 	}
