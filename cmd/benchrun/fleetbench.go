@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/fleet/chaos"
@@ -235,7 +236,7 @@ func writeFleetBench(path string, corpusSeed uint64) error {
 	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})
 	payloads := make([][]byte, 0, len(corpus.Dev))
 	for _, e := range corpus.Dev {
-		body, err := json.Marshal(server.QueryRequest{DB: e.DB, Question: e.Question})
+		body, err := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 		if err != nil {
 			return err
 		}
@@ -388,7 +389,7 @@ func writeFleetBench(path string, corpusSeed uint64) error {
 	fivexxBefore := rt.Metrics().ClientFivexx
 	members[victimIdx].hs.Close() // abrupt: in-flight connections die too
 
-	evBody, err := json.Marshal(server.QueryRequest{DB: victimExample.DB, Question: victimExample.Question})
+	evBody, err := json.Marshal(api.QueryRequest{DB: victimExample.DB, Question: victimExample.Question})
 	if err != nil {
 		return err
 	}
@@ -440,4 +441,3 @@ func writeFleetBench(path string, corpusSeed uint64) error {
 		report.FailoverClient5xx, report.Speedups.FailoverHeadroom)
 	return nil
 }
-

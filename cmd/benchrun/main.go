@@ -14,6 +14,7 @@
 //	benchrun -fleetbench BENCH_fleet.json      # emit the fleet fault-tolerance snapshot (QPS scaling, chaos, failover) and exit
 //	benchrun -obsbench BENCH_obs.json          # emit the observability snapshot (tracing on/off overhead, routed-trace coverage) and exit
 //	benchrun -enginebench BENCH_engine.json    # emit the columnar/parallel execution snapshot (vectorized + morsel-parallel vs row-wise) and exit
+//	benchrun -memorybench BENCH_memory.json    # emit the query-memory snapshot (paraphrase hit rate, zero-LLM hit serving vs pipeline, EX on/off) and exit
 //
 // Experiments: fig2, fig3, table1, table2, table3, table4, table5,
 // table6, table7, all.
@@ -41,6 +42,7 @@ func main() {
 	fleetBench := flag.String("fleetbench", "", "write the fleet fault-tolerance snapshot (routed QPS scaling 1 vs 3 replicas, p99 under injected chaos, failover takeover time) to this JSON file and exit")
 	obsBench := flag.String("obsbench", "", "write the observability snapshot (serving QPS with tracing+metrics on vs off, routed-trace span coverage) to this JSON file and exit")
 	engineBench := flag.String("enginebench", "", "write the columnar/parallel execution snapshot (row-wise vs vectorized vs N-core morsel-parallel on 100k/1M synth corpora, plus cost-invariance check) to this JSON file and exit")
+	memoryBench := flag.String("memorybench", "", "write the query-memory snapshot (paraphrase hit rate, zero-LLM hit serving vs per-request pipeline, EX memory on/off) to this JSON file and exit")
 	storeDir := flag.String("store-dir", "", "durable evidence store directory for the experiment drivers (same layout as seedd -store-dir): repeat runs replay instead of regenerating")
 	flag.Parse()
 
@@ -96,6 +98,13 @@ func main() {
 	if *engineBench != "" {
 		if err := writeEngineParBench(*engineBench, *seedFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "enginebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *memoryBench != "" {
+		if err := writeMemoryBench(*memoryBench, *seedFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "memorybench: %v\n", err)
 			os.Exit(1)
 		}
 		return

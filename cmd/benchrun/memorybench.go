@@ -1,0 +1,386 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/dataset"
+	"repro/internal/eval"
+	"repro/internal/llm"
+	"repro/internal/qmemory"
+	"repro/internal/schema"
+	"repro/internal/seed"
+	"repro/internal/server"
+	"repro/internal/synth"
+)
+
+// The -memorybench mode: the confidence-gated query-memory snapshot. A
+// synthesized financial corpus is served twice — once with the memory on,
+// once without — over a paraphrased workload (internal/synth emits 2-3
+// literal-preserving paraphrases per canonical question):
+//
+//	teach      — every canonical question is served once (judged-correct
+//	             generations admit patterns), then replayed once; the
+//	             replays that answer source=memory are the learned set.
+//	paraphrase — every paraphrase of a learned question is served once.
+//	             These are questions the server has NEVER seen: a
+//	             source=memory answer is a semantic (vector+BM25) match
+//	             against the canonical pattern, verified by execution
+//	             before serving. hit_rate is the gated fraction.
+//	hit QPS    — the confirmed memory-hit questions under concurrent
+//	             load, with the simulator's call ledger watched:
+//	             llm_calls_on_hits must stay zero.
+//	pipeline   — the same stack without memory: per-request serial
+//	             pipeline calls (the pre-memory status quo, same
+//	             denominator servebench gates against) plus an
+//	             informational warm served run.
+//
+// The headline ratio memory-hit QPS / pipeline-serial QPS is the gated
+// claim: a memory hit skips evidence generation AND SQL generation
+// entirely, so serving it must be far cheaper than the pipeline it
+// replaces. EX over the paraphrase sweep is reported for both regimes;
+// memory-on must not lose accuracy (hits are execution-verified, misses
+// fall through to the identical pipeline).
+
+// llmLatency is the modeled LLM round trip, applied identically to every
+// regime via Simulator.SetLatency. With a zero-cost simulator the memory's
+// claim is unmeasurable by construction — the pipeline it skips consists
+// almost entirely of LLM calls whose real cost is network+inference time.
+// 25ms is deliberately conservative (real text-to-SQL calls run hundreds
+// of milliseconds); the gated speedup understates the production win.
+const llmLatency = 25 * time.Millisecond
+
+// memoryBenchReport is the BENCH_memory.json schema.
+type memoryBenchReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	Seed        uint64 `json:"seed"`
+	// TotalRows sizes the synthesized corpus; Workload counts canonical
+	// questions, ParaphraseExamples the unseen phrasings layered on top.
+	TotalRows          int `json:"total_rows"`
+	Workload           int `json:"workload"`
+	ParaphraseExamples int `json:"paraphrase_examples"`
+	// Learned counts canonical questions whose replay served from
+	// memory after one teaching pass (bounded by the simulator's EX —
+	// only judged-correct generations admit patterns).
+	Learned int `json:"learned"`
+	// ParaphraseRequests / ParaphraseMemoryHits are the semantic-match
+	// sweep over paraphrases of learned questions; HitRate is their
+	// ratio — the gated recall of the memory on never-seen phrasings.
+	ParaphraseRequests   int     `json:"paraphrase_requests"`
+	ParaphraseMemoryHits int     `json:"paraphrase_memory_hits"`
+	HitRate              float64 `json:"hit_rate"`
+	// LLMCallsOnHits counts simulator calls made while serving the
+	// confirmed-hit load; the memory's core claim is that this is zero.
+	LLMCallsOnHits int `json:"llm_calls_on_hits"`
+	// MemoryHit is concurrent serving over confirmed memory hits;
+	// PipelineSerial is per-request serial pipeline calls (the
+	// pre-memory status quo); ServedWarmNoMemory is the same server
+	// without memory, warm — informational (named without "speedup" so
+	// benchcheck skips it: both sides are warm lookup-dominated).
+	MemoryHit          *server.LoadReport `json:"memory_hit"`
+	PipelineSerial     *server.LoadReport `json:"pipeline_serial"`
+	ServedWarmNoMemory *server.LoadReport `json:"served_warm_no_memory"`
+	// SpeedupMemoryHitVsPipeline is MemoryHit.QPS / PipelineSerial.QPS —
+	// the gated headline win.
+	SpeedupMemoryHitVsPipeline float64 `json:"speedup_memory_hit_vs_pipeline_serial"`
+	// MemoryHitVsServedWarmRatio compares the memory hit against warm
+	// memoryless serving of the identical questions.
+	MemoryHitVsServedWarmRatio float64 `json:"memory_hit_vs_served_warm_ratio"`
+	// ExMemoryOn / ExMemoryOff are execution accuracy over the full
+	// paraphrase sweep with and without the memory; the gate is
+	// on >= off (verified hits must never cost accuracy).
+	ExMemoryOn  float64 `json:"ex_memory_on"`
+	ExMemoryOff float64 `json:"ex_memory_off"`
+	// Memory is the memory-on server's final counter snapshot.
+	Memory qmemory.Stats `json:"memory"`
+}
+
+func writeMemoryBench(path string, seedVal uint64) error {
+	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: seedVal, CleanDev: true})
+	src, ok := corpus.DB("financial")
+	if !ok {
+		return fmt.Errorf("no financial DB in BIRD corpus")
+	}
+	const totalRows = 20_000
+	progress("memory: generating %d-row corpus", totalRows)
+	db, err := synth.Generate(src, synth.Options{Seed: seedVal, Rows: synth.ProportionalRows(src, totalRows)})
+	if err != nil {
+		return err
+	}
+	const workloadN = 40
+	qs, err := synth.Workload(db, workloadN, seedVal)
+	if err != nil {
+		return err
+	}
+	canonical, err := synth.ToExamples(db.Name, qs)
+	if err != nil {
+		return err
+	}
+	paraphrases, err := synth.ParaphraseExamples(db.Name, qs)
+	if err != nil {
+		return err
+	}
+	// Canonical questions in Dev, paraphrases in Test: both splits are
+	// servable, and the split boundary keeps "taught" and "never seen"
+	// apart in the phases below.
+	mkCorpus := func() *dataset.Corpus {
+		return &dataset.Corpus{
+			Name: "synth",
+			DBs:  map[string]*schema.DB{db.Name: db},
+			Dev:  canonical,
+			Test: paraphrases,
+		}
+	}
+	// Paraphrase index: example ID prefix "<db>-synth-%04d" -> canonical
+	// position, so the sweep can restrict itself to learned questions.
+	paraOf := func(e dataset.Example) int {
+		var idx, p int
+		if _, err := fmt.Sscanf(e.ID, db.Name+"-synth-%04d-p%d", &idx, &p); err != nil {
+			return -1
+		}
+		return idx
+	}
+
+	report := memoryBenchReport{
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		NumCPU:             runtime.NumCPU(),
+		Seed:               seedVal,
+		TotalRows:          totalRows,
+		Workload:           len(canonical),
+		ParaphraseExamples: len(paraphrases),
+	}
+
+	// ----- Memory-on server -----
+	sim := llm.NewSimulator()
+	sim.SetLatency(llmLatency)
+	memSrv, memBase, stopMem, err := startMemoryServer(mkCorpus(), sim, true)
+	if err != nil {
+		return err
+	}
+	defer stopMem()
+
+	progress("memory: teach pass over %d canonical questions", len(canonical))
+	learned := map[int]bool{}
+	for i, e := range canonical {
+		if _, _, err := postQueryOnce(memBase, e); err != nil {
+			return err
+		}
+		qr, status, err := postQueryOnce(memBase, e)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusOK && qr.Source == api.SourceMemory {
+			learned[i] = true
+		}
+	}
+	report.Learned = len(learned)
+	if report.Learned == 0 {
+		return fmt.Errorf("memorybench: teaching pass admitted no patterns")
+	}
+
+	progress("memory: paraphrase sweep (%d learned patterns)", report.Learned)
+	judge := eval.NewJudge()
+	var exOn, hitQuestions []dataset.Example
+	var onCorrect int
+	for _, e := range paraphrases {
+		qr, status, err := postQueryOnce(memBase, e)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusOK && judge.Score(db, e, qr.SQL).Correct {
+			onCorrect++
+		}
+		exOn = append(exOn, e)
+		if idx := paraOf(e); idx >= 0 && learned[idx] {
+			report.ParaphraseRequests++
+			if status == http.StatusOK && qr.Source == api.SourceMemory {
+				report.ParaphraseMemoryHits++
+				hitQuestions = append(hitQuestions, e)
+			}
+		}
+	}
+	if report.ParaphraseRequests > 0 {
+		report.HitRate = float64(report.ParaphraseMemoryHits) / float64(report.ParaphraseRequests)
+	}
+	if len(exOn) > 0 {
+		report.ExMemoryOn = float64(onCorrect) / float64(len(exOn))
+	}
+	if len(hitQuestions) == 0 {
+		return fmt.Errorf("memorybench: no paraphrase served from memory (hit rate %.2f over %d)",
+			report.HitRate, report.ParaphraseRequests)
+	}
+
+	// Confirmed-hit load: learned canonical questions plus the
+	// paraphrases that already matched, watched by the call ledger.
+	var hitPayloads [][]byte
+	for i, e := range canonical {
+		if learned[i] {
+			hitPayloads = append(hitPayloads, mustQueryPayload(e))
+		}
+	}
+	for _, e := range hitQuestions {
+		hitPayloads = append(hitPayloads, mustQueryPayload(e))
+	}
+	progress("memory: hit-serving measurement (%d questions)", len(hitPayloads))
+	ctx := context.Background()
+	callsBefore := sim.LedgerSnapshot().TotalCalls()
+	memHit, err := bestLoad(3, func() (*server.LoadReport, error) {
+		return server.RunLoad(ctx, server.LoadOptions{
+			BaseURL: memBase, Payloads: hitPayloads, Concurrency: 16, Total: 4 * len(hitPayloads),
+		})
+	})
+	if err != nil {
+		return err
+	}
+	report.MemoryHit = memHit
+	report.LLMCallsOnHits = sim.LedgerSnapshot().TotalCalls() - callsBefore
+	report.Memory = memSrv.Metrics().Memory["synth"]
+	stopMem()
+
+	// ----- Memory-off regimes -----
+	progress("memory: pipeline-serial baseline")
+	baselineTotal := len(hitPayloads)
+	if baselineTotal > 20 {
+		baselineTotal = 20
+	}
+	pipeline, err := bestLoad(3, func() (*server.LoadReport, error) {
+		psim := llm.NewSimulator()
+		psim.SetLatency(llmLatency)
+		return server.RunSerialBaseline(mkCorpus(), psim, seed.VariantGPT, "codes-15b", baselineTotal)
+	})
+	if err != nil {
+		return err
+	}
+	report.PipelineSerial = pipeline
+
+	progress("memory: memory-off served run")
+	offSim := llm.NewSimulator()
+	offSim.SetLatency(llmLatency)
+	_, offBase, stopOff, err := startMemoryServer(mkCorpus(), offSim, false)
+	if err != nil {
+		return err
+	}
+	defer stopOff()
+	var offCorrect int
+	for _, e := range paraphrases {
+		qr, status, err := postQueryOnce(offBase, e)
+		if err != nil {
+			return err
+		}
+		if status == http.StatusOK && judge.Score(db, e, qr.SQL).Correct {
+			offCorrect++
+		}
+	}
+	if len(paraphrases) > 0 {
+		report.ExMemoryOff = float64(offCorrect) / float64(len(paraphrases))
+	}
+	servedWarm, err := bestLoad(3, func() (*server.LoadReport, error) {
+		return server.RunLoad(ctx, server.LoadOptions{
+			BaseURL: offBase, Payloads: hitPayloads, Concurrency: 16, Total: 4 * len(hitPayloads),
+		})
+	})
+	if err != nil {
+		return err
+	}
+	report.ServedWarmNoMemory = servedWarm
+
+	if pipeline.QPS > 0 {
+		report.SpeedupMemoryHitVsPipeline = memHit.QPS / pipeline.QPS
+	}
+	if servedWarm.QPS > 0 {
+		report.MemoryHitVsServedWarmRatio = memHit.QPS / servedWarm.QPS
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("  learned %d/%d canonical, paraphrase hit rate %.2f (%d/%d)\n",
+		report.Learned, report.Workload, report.HitRate,
+		report.ParaphraseMemoryHits, report.ParaphraseRequests)
+	fmt.Printf("  memory hit     %8.0f req/s (p99 %.0fus), %d LLM calls\n",
+		memHit.QPS, memHit.P99Micros, report.LLMCallsOnHits)
+	fmt.Printf("  pipeline serial %7.0f req/s — speedup %.1fx (vs warm served %.1fx)\n",
+		pipeline.QPS, report.SpeedupMemoryHitVsPipeline, report.MemoryHitVsServedWarmRatio)
+	fmt.Printf("  EX memory-on %.3f vs memory-off %.3f\n", report.ExMemoryOn, report.ExMemoryOff)
+	return nil
+}
+
+// startMemoryServer stands the serving stack up with or without the
+// query memory, on a loopback ephemeral port.
+func startMemoryServer(c *dataset.Corpus, client llm.Client, memory bool) (*server.Server, string, func(), error) {
+	srv, err := server.New(server.Config{
+		Corpora:        []*dataset.Corpus{c},
+		Client:         client,
+		Variant:        seed.VariantGPT,
+		BatchWindow:    2 * time.Millisecond,
+		BatchMax:       16,
+		MaxInFlight:    1024,
+		RequestTimeout: time.Minute,
+		Memory:         memory,
+		Logger:         slog.New(slog.DiscardHandler),
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	stop := func() {
+		hs.Close()
+		srv.Close()
+	}
+	return srv, "http://" + ln.Addr().String(), stop, nil
+}
+
+// postQueryOnce issues one /v1/query request and decodes the typed
+// response; non-2xx answers return the status with a zero response.
+func postQueryOnce(base string, e dataset.Example) (api.QueryResponse, int, error) {
+	var qr api.QueryResponse
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(mustQueryPayload(e)))
+	if err != nil {
+		return qr, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return qr, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return qr, resp.StatusCode, nil
+	}
+	if err := json.Unmarshal(data, &qr); err != nil {
+		return qr, resp.StatusCode, fmt.Errorf("decode /v1/query: %w: %s", err, data)
+	}
+	return qr, resp.StatusCode, nil
+}
+
+func mustQueryPayload(e dataset.Example) []byte {
+	body, err := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}

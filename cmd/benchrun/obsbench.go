@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/fleet"
 	"repro/internal/llm"
@@ -121,7 +122,7 @@ func writeObsBench(path string, corpusSeed uint64) error {
 	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})
 	payloads := make([][]byte, 0, len(corpus.Dev))
 	for _, e := range corpus.Dev {
-		body, err := json.Marshal(server.QueryRequest{DB: e.DB, Question: e.Question})
+		body, err := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 		if err != nil {
 			return err
 		}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/schema"
 	"repro/internal/server"
@@ -382,7 +383,7 @@ func measureServing(db *schema.DB, seed uint64, rounds, mult int) (qps, p99 floa
 
 	payloads := make([][]byte, 0, len(sc.Dev))
 	for _, e := range sc.Dev {
-		body, err := json.Marshal(server.QueryRequest{DB: e.DB, Question: e.Question})
+		body, err := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 		if err != nil {
 			return 0, 0, err
 		}

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/seed"
@@ -130,7 +131,7 @@ func writeServerBench(path string, corpusSeed uint64) error {
 	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: corpusSeed})
 	payloads := make([][]byte, 0, len(corpus.Dev))
 	for _, e := range corpus.Dev {
-		body, err := json.Marshal(server.QueryRequest{DB: e.DB, Question: e.Question})
+		body, err := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 		if err != nil {
 			return err
 		}

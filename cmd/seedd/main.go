@@ -71,6 +71,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
 	storeDir := flag.String("store-dir", "", "durable evidence store directory: evidence survives restarts, replayed into the cache on startup (empty = in-memory only)")
 	storeCompact := flag.Int("store-compact", 0, "store WAL compaction threshold in records (0 = 1024, negative disables)")
+	memory := flag.Bool("memory", false, "enable the confidence-gated query memory: verified generations are remembered and paraphrases served with zero pipeline/LLM calls")
+	memoryDir := flag.String("memory-dir", "", "durable query-memory directory, patterns survive restarts (requires -memory)")
 	peers := flag.String("peers", "", "comma-separated base URLs of the other fleet replicas; their evidence stores are tailed over /v1/replicate into this one (requires -store-dir)")
 	replicateEvery := flag.Duration("replicate-interval", 0, "peer WAL poll period (0 = 200ms)")
 	drainGrace := flag.Duration("drain-grace", 500*time.Millisecond, "on SIGTERM/SIGINT, how long /healthz?ready advertises draining before the listener stops accepting")
@@ -103,21 +105,23 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Corpora:           corpora,
-		Client:            llm.NewSimulator(),
-		Variant:           seed.Variant(*variant),
-		Generator:         *generator,
-		EvidenceWorkers:   *workers,
-		EvidenceCache:     *cache,
-		BatchWindow:       *batchWindow,
-		BatchMax:          *batchMax,
-		Rate:              *rate,
-		Burst:             *burst,
-		MaxInFlight:       *inflight,
-		RequestTimeout:    *timeout,
-		StoreDir:          *storeDir,
-		StoreCompactEvery: *storeCompact,
-		StoreSeed:         *seedFlag,
+		Corpora:            corpora,
+		Client:             llm.NewSimulator(),
+		Variant:            seed.Variant(*variant),
+		Generator:          *generator,
+		EvidenceWorkers:    *workers,
+		EvidenceCache:      *cache,
+		BatchWindow:        *batchWindow,
+		BatchMax:           *batchMax,
+		Rate:               *rate,
+		Burst:              *burst,
+		MaxInFlight:        *inflight,
+		RequestTimeout:     *timeout,
+		StoreDir:           *storeDir,
+		StoreCompactEvery:  *storeCompact,
+		StoreSeed:          *seedFlag,
+		Memory:             *memory,
+		MemoryDir:          *memoryDir,
 		Peers:              splitPeers(*peers),
 		ReplicateInterval:  *replicateEvery,
 		TraceCapacity:      *traceCapacity,

@@ -131,6 +131,24 @@ func (j *Judge) Score(db *schema.DB, e dataset.Example, predSQL string) Outcome 
 	if err != nil || res.Rows == nil {
 		return Outcome{ExecError: true}
 	}
+	return j.ScoreRows(db, e, res)
+}
+
+// ScoreRows evaluates an already-executed prediction result for an
+// example. Callers that execute the prediction themselves (the serving
+// path, which needs the rows for the response anyway) use this to judge
+// without paying a second execution; the gold side still rides the
+// per-example cache.
+func (j *Judge) ScoreRows(db *schema.DB, e dataset.Example, res *sqlengine.Result) Outcome {
+	gold := j.goldFor(db, e)
+	if gold.err != nil {
+		// A broken gold query is a corpus bug; treat the pair as wrong
+		// rather than crashing an entire run.
+		return Outcome{}
+	}
+	if res == nil || res.Rows == nil {
+		return Outcome{ExecError: true}
+	}
 	if !ResultsEqual(gold.rows, res.Rows, gold.ordered) {
 		return Outcome{}
 	}

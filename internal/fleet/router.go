@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -103,6 +104,8 @@ type Router struct {
 	shedRetries  atomic.Int64 // 429/503 responses absorbed by retrying elsewhere
 	exhausted    atomic.Int64 // requests that ran out of attempts
 	clientFivexx atomic.Int64 // 5xx the router returned to its client
+	clientClosed atomic.Int64 // requests abandoned by the client (499s)
+	canceledAtts atomic.Int64 // attempts cut short by client cancellation
 
 	lat latencyReservoir
 }
@@ -206,26 +209,20 @@ func (rt *Router) Handler() http.Handler {
 	return mux
 }
 
-// shardRequest is the slice of the request body the router needs for
-// routing; unknown fields pass through to the replica untouched.
-type shardRequest struct {
-	DB       string `json:"db"`
-	Question string `json:"question"`
-	ID       string `json:"id"`
-}
-
 // serveSharded routes a body-carrying request by consistent hash of its
 // (db, question) pair, so repeat questions land on the replica whose
 // evidence cache and store are hot for them.
 func (rt *Router) serveSharded(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxProxiedBody))
 	if err != nil {
-		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request body: %v", err))
+		rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("reading request body: %v", err))
 		return
 	}
-	var sr shardRequest
+	// Routing needs only the api.QueryRequest identity fields; the raw
+	// body passes through to the replica untouched.
+	var sr api.QueryRequest
 	if err := json.Unmarshal(body, &sr); err != nil {
-		rt.writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("malformed request body: %v", err))
 		return
 	}
 	q := sr.Question
@@ -351,7 +348,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 	for {
 		select {
 		case <-ctx.Done():
-			rt.relayFailure(w, last, t0, meta)
+			rt.relayFailure(w, ctx, last, t0, meta)
 			return
 		case <-timer.C:
 			if launched < rt.cfg.MaxAttempts && launch(launched) {
@@ -361,7 +358,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 				timer.Reset(jittered(rt.cfg.HedgeDelay))
 			} else if done == launched {
 				// Nothing in flight and nothing launchable.
-				rt.relayFailure(w, last, t0, meta)
+				rt.relayFailure(w, ctx, last, t0, meta)
 				return
 			}
 		case res := <-results:
@@ -382,7 +379,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 				// full hedge delay.
 				timer.Reset(rt.backoff(launched))
 			} else if done == launched {
-				rt.relayFailure(w, last, t0, meta)
+				rt.relayFailure(w, ctx, last, t0, meta)
 				return
 			}
 		}
@@ -394,6 +391,12 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, c
 func (rt *Router) record(res attemptResult) {
 	now := time.Now()
 	switch {
+	case res.err != nil && errors.Is(res.err, context.Canceled):
+		// The client hung up (or the request was abandoned) while this
+		// attempt was in flight: the replica did nothing wrong, so the
+		// breaker must not hear about it — counting these as faults is how
+		// a wave of impatient clients ejects a healthy replica.
+		rt.canceledAtts.Add(1)
 	case res.err != nil:
 		res.rep.failures.Add(1)
 		res.rep.breaker.Record(false, now)
@@ -528,22 +531,40 @@ func (rt *Router) relay(w http.ResponseWriter, res attemptResult, t0 time.Time, 
 		"request_id", meta.reqID, "trace_id", meta.traceID)
 }
 
-// relayFailure answers a client whose attempts are exhausted: the last
-// backend response verbatim when there was one (its Retry-After still
-// means something), otherwise a 502/504.
-func (rt *Router) relayFailure(w http.ResponseWriter, last attemptResult, t0 time.Time, meta fwdMeta) {
+// relayFailure answers a client whose attempts are exhausted. A request
+// the *client* abandoned answers 499 and stays out of the 5xx accounting
+// — the fleet did not fail, the caller left. Otherwise: the last backend
+// response verbatim when there was one (its Retry-After still means
+// something), a 504 when the request deadline expired, a 502 when every
+// attempt faulted.
+func (rt *Router) relayFailure(w http.ResponseWriter, ctx context.Context, last attemptResult, t0 time.Time, meta fwdMeta) {
 	rt.exhausted.Add(1)
+	if errors.Is(ctx.Err(), context.Canceled) {
+		rt.clientClosed.Add(1)
+		status := api.StatusClientClosedRequest
+		rt.writeError(w, status, api.CodeClientClosed, "client closed request")
+		d := time.Since(t0)
+		rt.lat.observe(d)
+		rt.log.Info("request abandoned by client",
+			"route", meta.path, "status", status, "duration_us", d.Microseconds(),
+			"request_id", meta.reqID, "trace_id", meta.traceID)
+		return
+	}
 	if last.err == nil && last.status != 0 {
 		rt.relay(w, last, t0, meta)
 		return
 	}
-	status := http.StatusBadGateway
+	status, code := http.StatusBadGateway, api.CodeUpstreamError
 	msg := "no replica answered"
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		status, code = http.StatusGatewayTimeout, api.CodeUpstreamTimeout
+		msg = "no replica answered within the request deadline"
+	}
 	if last.err != nil {
-		msg = fmt.Sprintf("no replica answered: %v", last.err)
+		msg = fmt.Sprintf("%s: %v", msg, last.err)
 	}
 	rt.clientFivexx.Add(1)
-	rt.writeError(w, status, msg)
+	rt.writeError(w, status, code, msg)
 	d := time.Since(t0)
 	rt.lat.observe(d)
 	rt.log.Warn("request exhausted",
@@ -551,10 +572,8 @@ func (rt *Router) relayFailure(w http.ResponseWriter, last attemptResult, t0 tim
 		"request_id", meta.reqID, "trace_id", meta.traceID, "error", msg)
 }
 
-func (rt *Router) writeError(w http.ResponseWriter, status int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
+func (rt *Router) writeError(w http.ResponseWriter, status int, code, msg string) {
+	api.WriteError(w, status, code, msg)
 }
 
 // handleRoute is the shard-mapping debug endpoint: GET
@@ -565,7 +584,7 @@ func (rt *Router) handleRoute(w http.ResponseWriter, r *http.Request) {
 	db := r.URL.Query().Get("db")
 	q := r.URL.Query().Get("question")
 	if db == "" || q == "" {
-		rt.writeError(w, http.StatusBadRequest, "db and question query parameters are required")
+		rt.writeError(w, http.StatusBadRequest, api.CodeBadRequest, "db and question query parameters are required")
 		return
 	}
 	names := rt.ring.Successors(ShardKey(db, q), len(rt.replicas))
@@ -628,6 +647,8 @@ type Metrics struct {
 	// ClientFivexx counts 5xx responses the router returned to clients —
 	// the availability-loss number the chaos suite pins at zero.
 	ClientFivexx int64           `json:"client_5xx"`
+	ClientClosed int64           `json:"client_closed"`
+	CanceledAtts int64           `json:"canceled_attempts"`
 	P50Micros    float64         `json:"p50_us"`
 	P99Micros    float64         `json:"p99_us"`
 	MaxMicros    float64         `json:"max_us"`
@@ -646,6 +667,8 @@ func (rt *Router) Metrics() Metrics {
 		ShedRetries:   rt.shedRetries.Load(),
 		Exhausted:     rt.exhausted.Load(),
 		ClientFivexx:  rt.clientFivexx.Load(),
+		ClientClosed:  rt.clientClosed.Load(),
+		CanceledAtts:  rt.canceledAtts.Load(),
 		P50Micros:     p50,
 		P99Micros:     p99,
 		MaxMicros:     max,

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/evserve"
+)
+
+// TestWriteUpstreamErrorStatusMapping is the server half of the
+// canceled-context regression: an upstream failure whose real cause is
+// the client abandoning the request must answer 499/client_closed, not a
+// 5xx — and every branch must emit the unified error envelope.
+func TestWriteUpstreamErrorStatusMapping(t *testing.T) {
+	canceledCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	expiredCtx, cancel2 := context.WithTimeout(context.Background(), 0)
+	defer cancel2()
+	<-expiredCtx.Done()
+
+	cases := []struct {
+		name       string
+		ctx        context.Context
+		err        error
+		wantStatus int
+		wantCode   string
+	}{
+		{"shutdown wins over everything", canceledCtx, evserve.ErrClosed,
+			http.StatusServiceUnavailable, api.CodeUnavailable},
+		{"client canceled is 499 not 5xx", canceledCtx, context.Canceled,
+			api.StatusClientClosedRequest, api.CodeClientClosed},
+		{"deadline exceeded is 504", expiredCtx, context.DeadlineExceeded,
+			http.StatusGatewayTimeout, api.CodeUpstreamTimeout},
+		{"plain upstream failure is 502", context.Background(), errors.New("boom"),
+			http.StatusBadGateway, api.CodeUpstreamError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := httptest.NewRequest(http.MethodPost, "/v1/query", nil).WithContext(tc.ctx)
+			w := httptest.NewRecorder()
+			w.Header().Set("X-Request-Id", "req-123")
+			writeUpstreamError(w, r, "evidence generation", tc.err)
+			if w.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", w.Code, tc.wantStatus)
+			}
+			var env api.Error
+			if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil {
+				t.Fatalf("not the envelope: %v: %s", err, w.Body)
+			}
+			if env.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q", env.Code, tc.wantCode)
+			}
+			if env.Error == "" || env.RequestID != "req-123" {
+				t.Errorf("envelope = %+v", env)
+			}
+		})
+	}
+}

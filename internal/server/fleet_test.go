@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/seed"
@@ -33,7 +34,7 @@ func TestServerDrainKeepsInFlightAlive(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, _ := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+			resp, _ := postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 			statuses[i] = resp.StatusCode
 		}()
 	}
@@ -91,7 +92,7 @@ func TestServerPeerReplicationServesWithoutLLM(t *testing.T) {
 	}
 	want := make(map[string]string, len(examples))
 	for _, e := range examples {
-		resp, body := postJSON(t, leaderTS.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+		resp, body := postJSON(t, leaderTS.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 		if resp.StatusCode != 200 {
 			t.Fatalf("leader /v1/evidence = %d: %s", resp.StatusCode, body)
 		}
@@ -119,7 +120,7 @@ func TestServerPeerReplicationServesWithoutLLM(t *testing.T) {
 	}
 
 	for _, e := range examples {
-		resp, body := postJSON(t, followerTS.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+		resp, body := postJSON(t, followerTS.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 		if resp.StatusCode != 200 {
 			t.Fatalf("follower /v1/evidence = %d: %s", resp.StatusCode, body)
 		}
@@ -202,11 +203,11 @@ func TestAdmissionRejectCarriesRetryAfterMs(t *testing.T) {
 	})
 	e := testCorpus(t).Dev[0]
 
-	resp, _ := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, _ := postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 200 {
 		t.Fatalf("first request = %d, want 200", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, _ = postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("second request = %d, want 429", resp.StatusCode)
 	}

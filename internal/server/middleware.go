@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -87,7 +88,7 @@ func (s *Server) wrap(route string, admit bool, h http.HandlerFunc) http.Handler
 					"route", route, "request_id", reqID, "trace_id", tr.ID(),
 					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
 				if rec.status == 0 {
-					writeError(rec, http.StatusInternalServerError, "internal error")
+					writeError(rec, http.StatusInternalServerError, api.CodeInternal, "internal error")
 				}
 			}
 			d := time.Since(start)
@@ -122,11 +123,11 @@ func (s *Server) wrap(route string, admit bool, h http.HandlerFunc) http.Handler
 				// whose real backoff is tens of milliseconds; the router
 				// reads this millisecond-resolution twin instead.
 				rec.Header().Set("X-Retry-After-Ms", fmt.Sprint(retryAfter.Milliseconds()))
-				msg := "rate limit exceeded"
+				msg, code := "rate limit exceeded", api.CodeRateLimited
 				if status == http.StatusServiceUnavailable {
-					msg = "server at capacity"
+					msg, code = "server at capacity", api.CodeOverCapacity
 				}
-				writeError(rec, status, msg)
+				writeError(rec, status, code, msg)
 				return
 			}
 			asp.End()

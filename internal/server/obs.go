@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 	"repro/internal/sqlengine"
 )
@@ -46,6 +47,12 @@ func (s *Server) initObs() {
 	for _, rs := range s.tailers {
 		rs.tailer.RegisterMetrics(s.obsReg, obs.L("corpus", rs.corpus))
 	}
+	for name, mem := range s.memories {
+		mem.RegisterMetrics(s.obsReg, obs.L("corpus", name))
+	}
+	for _, ms := range s.memTailers {
+		ms.tailer.RegisterMetrics(s.obsReg, obs.L("corpus", ms.corpus), obs.L("peer", ms.peer))
+	}
 	for name, corpus := range s.corpora {
 		corpus := corpus
 		sqlengine.RegisterPlanCacheMetrics(s.obsReg, func() sqlengine.PlanCacheStats {
@@ -72,14 +79,14 @@ func (s *Server) Traces() *obs.TraceStore { return s.traces }
 // retained traces (?limit=N bounds the list).
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if s.traces == nil {
-		writeError(w, http.StatusNotFound, "tracing disabled (trace capacity < 0)")
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "tracing disabled (trace capacity < 0)")
 		return
 	}
 	limit := 50
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			writeError(w, http.StatusBadRequest, "limit must be a positive integer")
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "limit must be a positive integer")
 			return
 		}
 		limit = n
@@ -91,13 +98,13 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // retained trace.
 func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	if s.traces == nil {
-		writeError(w, http.StatusNotFound, "tracing disabled (trace capacity < 0)")
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "tracing disabled (trace capacity < 0)")
 		return
 	}
 	id := r.PathValue("id")
 	rec := s.traces.Get(id)
 	if rec == nil {
-		writeError(w, http.StatusNotFound, "no retained trace with id "+id)
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "no retained trace with id "+id)
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/api"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 )
@@ -36,7 +37,7 @@ func TestRoutedQueryTraceEndToEnd(t *testing.T) {
 	// starting its own.
 	clientTrace := obs.NewTraceID()
 	e := testCorpus(t).Dev[0]
-	body, _ := json.Marshal(QueryRequest{DB: e.DB, Question: e.Question})
+	body, _ := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/query", strings.NewReader(string(body)))
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +115,7 @@ func TestRequestIDEchoedOnShed(t *testing.T) {
 		cfg.Burst = 1
 	})
 	e := testCorpus(t).Dev[0]
-	body, _ := json.Marshal(QueryRequest{DB: e.DB, Question: e.Question})
+	body, _ := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 	var sawShed bool
 	for i := 0; i < 3; i++ {
 		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/query", strings.NewReader(string(body)))
@@ -190,7 +191,7 @@ func TestPanicRecordsTraceAndCounter(t *testing.T) {
 func TestMetricsPrometheusDefault(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	e := testCorpus(t).Dev[0]
-	postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+	postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: e.Question})
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -244,7 +245,7 @@ func TestErroredTraceSurvivesChurn(t *testing.T) {
 	// Churn the recent ring well past its capacity with healthy traffic.
 	e := testCorpus(t).Dev[0]
 	for i := 0; i < 8; i++ {
-		postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+		postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: e.Question})
 	}
 	tresp, err := http.Get(ts.URL + "/v1/traces/" + traceID)
 	if err != nil {

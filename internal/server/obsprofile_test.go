@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/seed"
@@ -43,7 +44,7 @@ func runBenchLoad(b *testing.B, base string) {
 	corpus := dataset.BuildBIRD(dataset.BIRDOptions{Seed: 7})
 	payloads := make([][]byte, 0, len(corpus.Dev))
 	for _, e := range corpus.Dev {
-		body, _ := json.Marshal(QueryRequest{DB: e.DB, Question: e.Question})
+		body, _ := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 		payloads = append(payloads, body)
 	}
 	ctx := context.Background()

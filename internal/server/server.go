@@ -37,12 +37,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
+	"repro/internal/eval"
 	"repro/internal/evserve"
 	"repro/internal/evstore"
 	"repro/internal/llm"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/qmemory"
 	"repro/internal/seed"
 	"repro/internal/sqlengine"
 	"repro/internal/texttosql"
@@ -110,6 +113,20 @@ type Config struct {
 	// ReplicateInterval is the peer WAL poll period; <= 0 uses the
 	// evstore tailer default (200ms).
 	ReplicateInterval time.Duration
+	// Memory enables the confidence-gated query memory: past successful
+	// (question, evidence, SQL, result-fingerprint) tuples are
+	// semantically matched against incoming questions, and a
+	// high-confidence hit is served with zero pipeline/LLM calls (after
+	// execution-judge verification, so memory can never lower EX).
+	Memory bool
+	// MemoryDir, when non-empty (requires Memory), makes the query
+	// memory durable: each corpus gets a WAL-backed pattern store at
+	// MemoryDir/<corpus>, replayed on startup and flushed on shutdown.
+	MemoryDir string
+	// MemoryOptions tunes the memory's thresholds and retrieval knobs;
+	// zero fields take qmemory defaults. The Store field is managed by
+	// the server (see MemoryDir) and ignored here.
+	MemoryOptions qmemory.Options
 	// TraceCapacity sizes the in-memory trace store: up to TraceCapacity
 	// recent traces plus as many always-kept slow/error traces are
 	// retained behind GET /v1/traces. 0 defaults to 256; negative
@@ -138,6 +155,12 @@ type Server struct {
 	stores   map[string]*evstore.Store
 	corpora  map[string]*dataset.Corpus
 
+	// memories and judges are keyed by corpus name, empty unless
+	// Config.Memory: the confidence-gated query memory and the execution
+	// judge that verifies every memory hit and admission against gold.
+	memories map[string]*qmemory.Memory
+	judges   map[string]*eval.Judge
+
 	adm    *admission
 	routes map[string]*routeMetrics
 	start  time.Time
@@ -157,9 +180,11 @@ type Server struct {
 	// finish tailing this replica's WAL.
 	draining atomic.Bool
 
-	// tailers replicate peer stores (one stream per corpus per peer);
-	// tailCancel/tailWG stop them on Close before the stores close.
+	// tailers replicate peer evidence stores and memTailers peer query
+	// memories (one stream per corpus per peer); tailCancel/tailWG stop
+	// them on Close before the stores close.
 	tailers    []replStream
+	memTailers []memStream
 	tailCancel context.CancelFunc
 	tailWG     sync.WaitGroup
 
@@ -171,6 +196,13 @@ type replStream struct {
 	corpus string
 	peer   string
 	tailer *evstore.Tailer
+}
+
+// memStream is one peer query-memory sync stream for metrics labeling.
+type memStream struct {
+	corpus string
+	peer   string
+	tailer *qmemory.Tailer
 }
 
 // New builds the serving subsystem: one seed pipeline + evidence service +
@@ -208,9 +240,14 @@ func New(cfg Config) (*Server, error) {
 		batchers: make(map[string]*batcher),
 		stores:   make(map[string]*evstore.Store),
 		corpora:  make(map[string]*dataset.Corpus),
+		memories: make(map[string]*qmemory.Memory),
+		judges:   make(map[string]*eval.Judge),
 		adm:      newAdmission(cfg.Rate, cfg.Burst, cfg.MaxInFlight),
 		routes:   make(map[string]*routeMetrics),
 		start:    time.Now(),
+	}
+	if cfg.MemoryDir != "" && !cfg.Memory {
+		return nil, errors.New("server: Config.MemoryDir requires Config.Memory")
 	}
 	gens := make(map[string]texttosql.Generator, len(cfg.Corpora))
 	for _, corpus := range cfg.Corpora {
@@ -261,6 +298,27 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		gens[corpus.Name] = gen
+		if cfg.Memory {
+			mopts := cfg.MemoryOptions
+			mopts.Store = nil
+			if cfg.MemoryDir != "" {
+				mstore, err := qmemory.OpenStore(filepath.Join(cfg.MemoryDir, corpus.Name), qmemory.StoreOptions{
+					Manifest: evstore.Manifest(corpus.Name, cfg.StoreSeed),
+				})
+				if err != nil {
+					s.Close()
+					return nil, fmt.Errorf("server: opening query-memory store for %s: %w", corpus.Name, err)
+				}
+				mopts.Store = mstore
+			}
+			mem, err := qmemory.New(mopts)
+			if err != nil {
+				s.Close()
+				return nil, fmt.Errorf("server: building query memory for %s: %w", corpus.Name, err)
+			}
+			s.memories[corpus.Name] = mem
+			s.judges[corpus.Name] = eval.NewJudge()
+		}
 	}
 	reg, err := newRegistry(cfg.Corpora, gens)
 	if err != nil {
@@ -276,6 +334,21 @@ func New(cfg Config) (*Server, error) {
 		}
 		var tailCtx context.Context
 		tailCtx, s.tailCancel = context.WithCancel(context.Background())
+		// Query memories ship to peers like evidence: every replica tails
+		// every peer's pattern set, so a shard failed over to this replica
+		// is served from memory on the first paraphrase, not relearned.
+		for name, mem := range s.memories {
+			for _, peer := range cfg.Peers {
+				src := peer + pathMemSync + "?corpus=" + url.QueryEscape(name)
+				mt := qmemory.NewTailer(src, mem, qmemory.TailerOptions{Interval: cfg.ReplicateInterval})
+				s.memTailers = append(s.memTailers, memStream{corpus: name, peer: peer, tailer: mt})
+				s.tailWG.Add(1)
+				go func() {
+					defer s.tailWG.Done()
+					mt.Run(tailCtx)
+				}()
+			}
+		}
 		for name, store := range s.stores {
 			svc := s.services[name]
 			for _, peer := range cfg.Peers {
@@ -299,7 +372,7 @@ func New(cfg Config) (*Server, error) {
 
 	s.initObs()
 	for _, route := range []string{
-		pathQuery, pathEvidence, pathDBs, pathExamples, pathReplicate, pathHealthz, pathMetrics, pathTraces,
+		pathQuery, pathEvidence, pathDBs, pathExamples, pathReplicate, pathMemSync, pathHealthz, pathMetrics, pathTraces,
 	} {
 		s.routes[route] = newRouteMetrics(s.obsReg, route)
 	}
@@ -313,6 +386,7 @@ const (
 	pathDBs       = "/v1/dbs"
 	pathExamples  = "/v1/examples"
 	pathReplicate = "/v1/replicate"
+	pathMemSync   = "/v1/memsync"
 	pathTraces    = "/v1/traces"
 	pathHealthz   = "/healthz"
 	pathMetrics   = "/metrics"
@@ -326,8 +400,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET "+pathDBs, s.wrap(pathDBs, false, s.handleDBs))
 	mux.Handle("GET "+pathExamples, s.wrap(pathExamples, false, s.handleExamples))
 	// Replication skips admission: a draining or overloaded replica must
-	// still let its followers catch up on the WAL.
+	// still let its followers catch up on the WAL — and on the query
+	// memory, which ships over the same peer mesh.
 	mux.Handle("GET "+pathReplicate, s.wrap(pathReplicate, false, s.handleReplicate))
+	mux.Handle("GET "+pathMemSync, s.wrap(pathMemSync, false, s.handleMemSync))
 	// Trace retrieval skips admission for the same reason /metrics does:
 	// the traces explaining an overload must be readable during one.
 	mux.Handle("GET "+pathTraces, s.wrap(pathTraces, false, s.handleTraces))
@@ -370,88 +446,27 @@ func (s *Server) Close() {
 				s.log.Warn("closing evidence store", "corpus", name, "err", err)
 			}
 		}
+		for name, mem := range s.memories {
+			if err := mem.Close(); err != nil {
+				s.log.Warn("closing query memory", "corpus", name, "err", err)
+			}
+		}
 	})
 }
 
-// QueryRequest is the /v1/query (and /v1/evidence) request body.
-type QueryRequest struct {
-	// DB is the target database name.
-	DB string `json:"db"`
-	// Question is the natural-language question. Lookup is
-	// case-insensitive and whitespace-tolerant.
-	Question string `json:"question"`
-	// ID optionally names the corpus example directly instead of (or as
-	// well as) the question text.
-	ID string `json:"id,omitempty"`
-	// MaxRows truncates the returned rows when > 0. Execution and cost
-	// accounting always cover the full result.
-	MaxRows int `json:"max_rows,omitempty"`
-}
-
-// QueryTiming breaks a /v1/query response down by serving phase, in
-// microseconds.
-type QueryTiming struct {
-	EvidenceMicros int64 `json:"evidence_us"`
-	GenerateMicros int64 `json:"generate_us"`
-	PrepareMicros  int64 `json:"prepare_us"`
-	ExecuteMicros  int64 `json:"execute_us"`
-}
-
-// QueryResponse is the /v1/query response body.
-type QueryResponse struct {
-	DB        string `json:"db"`
-	ExampleID string `json:"example_id"`
-	Question  string `json:"question"`
-	// Evidence is the SEED-generated evidence the generator consumed.
-	Evidence string `json:"evidence"`
-	// EvidenceTrace is the stage-graph provenance of the evidence: one
-	// entry per pipeline stage with memo-hit flag, wall time and token
-	// spend. On an evidence-cache hit it describes the original
-	// generation.
-	EvidenceTrace *pipeline.Trace `json:"evidence_trace,omitempty"`
-	// EvidenceCacheHit reports the evidence came from the evidence cache
-	// rather than a fresh pipeline run.
-	EvidenceCacheHit bool `json:"evidence_cache_hit"`
-	// SQL is the generated query.
-	SQL string `json:"sql"`
-	// Columns and Rows are the execution result; NULLs are JSON nulls.
-	Columns []string `json:"columns"`
-	Rows    [][]any  `json:"rows"`
-	// RowCount is the full result size, even when Rows is truncated.
-	RowCount int `json:"row_count"`
-	// Truncated reports MaxRows truncation.
-	Truncated bool `json:"truncated,omitempty"`
-	// Cost is the engine's logical rows-touched charge.
-	Cost   int64       `json:"cost"`
-	Timing QueryTiming `json:"timing"`
-}
-
-// EvidenceResponse is the /v1/evidence response body.
-type EvidenceResponse struct {
-	DB       string `json:"db"`
-	Question string `json:"question"`
-	Variant  string `json:"variant"`
-	Evidence string `json:"evidence"`
-	// Trace is the stage-graph provenance of the evidence (see
-	// QueryResponse.EvidenceTrace).
-	Trace    *pipeline.Trace `json:"evidence_trace,omitempty"`
-	CacheHit bool            `json:"evidence_cache_hit"`
-	Micros   int64           `json:"duration_us"`
-}
-
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
+	var req api.QueryRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	sess, ok := s.reg.Session(req.DB)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q (GET /v1/dbs lists them)", req.DB))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown database %q (GET /v1/dbs lists them)", req.DB))
 		return
 	}
 	e, ok := sess.Lookup(req.Question, req.ID)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf(
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf(
 			"question not in the loaded corpus for %q (GET /v1/examples?db=%s lists servable questions)",
 			req.DB, req.DB))
 		return
@@ -460,6 +475,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if root := obs.CurrentSpan(r.Context()); root != nil {
 		root.SetAttr("db", e.DB)
 		root.SetAttr("example_id", e.ID)
+	}
+
+	// Query memory sits ahead of the evidence batcher: a high-confidence
+	// semantic match serves adapted cached SQL with zero pipeline/LLM
+	// work. A miss (or a hit that fails verification) falls through to
+	// the full path, carrying the lookup time into the response timing.
+	var memDur time.Duration
+	if mem := s.memories[sess.Corpus]; mem != nil {
+		served, d := s.tryMemory(w, r, sess, e, req)
+		if served {
+			return
+		}
+		memDur = d
 	}
 
 	evStart := time.Now()
@@ -502,7 +530,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	genDur := time.Since(genStart)
 	if err != nil {
 		genSpan.Fail(err)
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("generation failed: %v", err))
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, fmt.Sprintf("generation failed: %v", err))
 		return
 	}
 	genSpan.End()
@@ -516,7 +544,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	prepDur := time.Since(prepStart)
 	if err != nil {
 		prepSpan.Fail(err)
-		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("generated SQL does not parse: %v", err))
+		writeError(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, fmt.Sprintf("generated SQL does not parse: %v", err))
 		return
 	}
 	prepSpan.SetAttr("plan_cache_hit", planHit)
@@ -528,7 +556,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	execDur := time.Since(execStart)
 	if err != nil {
 		execSpan.Fail(err)
-		writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("generated SQL does not execute: %v", err))
+		writeError(w, http.StatusUnprocessableEntity, api.CodeUnprocessable, fmt.Sprintf("generated SQL does not execute: %v", err))
 		return
 	}
 	execSpan.SetAttr("cost", res.Cost)
@@ -539,16 +567,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	execSpan.End()
 
-	resp := QueryResponse{
+	source := api.SourceGenerated
+	if ev.CacheHit {
+		source = api.SourceCache
+	}
+
+	// A judged-correct generation becomes a memory pattern: the next
+	// paraphrase of this intent can skip the pipeline entirely.
+	if mem := s.memories[sess.Corpus]; mem != nil {
+		if out := s.judges[sess.Corpus].ScoreRows(sess.DB, e, res); out.Correct {
+			mem.Admit(e.DB, e.Question, ev.Text, sql, qmemory.Fingerprint(res.Rows))
+		}
+	}
+
+	resp := api.QueryResponse{
 		DB:               e.DB,
 		ExampleID:        e.ID,
 		Question:         e.Question,
+		Source:           source,
 		Evidence:         ev.Text,
 		EvidenceTrace:    ev.Trace,
 		EvidenceCacheHit: ev.CacheHit,
 		SQL:              sql,
 		Cost:             res.Cost,
-		Timing: QueryTiming{
+		Timing: api.QueryTiming{
+			MemoryMicros:   memDur.Microseconds(),
 			EvidenceMicros: evDur.Microseconds(),
 			GenerateMicros: genDur.Microseconds(),
 			PrepareMicros:  prepDur.Microseconds(),
@@ -566,6 +609,112 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Rows = renderRows(res.Rows, n)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// tryMemory looks the question up in the corpus's query memory and, on a
+// confident hit, serves the stored SQL with zero pipeline/LLM calls —
+// after verifying it: the SQL must still execute, its result fingerprint
+// must match the stored one, and the execution judge must score it
+// correct against the example's gold. A hit that fails verification
+// decays the pattern's confidence; the demotion reshuffles the ranking,
+// so the lookup is retried a bounded number of times before giving up —
+// a look-alike pattern outscoring the right one costs one cheap engine
+// execution, not a full pipeline run. The returned duration covers
+// lookup plus verification, for the fall-through response's timing.
+func (s *Server) tryMemory(w http.ResponseWriter, r *http.Request, sess *Session, e dataset.Example, req api.QueryRequest) (served bool, memDur time.Duration) {
+	mem := s.memories[sess.Corpus]
+	start := time.Now()
+	_, span := obs.StartSpan(r.Context(), "memory.lookup")
+	defer func() {
+		memDur = time.Since(start)
+		span.End()
+	}()
+
+	const maxVerifyAttempts = 3
+	var (
+		hit   qmemory.Hit
+		res   *sqlengine.Result
+		tried []string
+	)
+	verified := false
+	for attempt := 0; attempt < maxVerifyAttempts && !verified; attempt++ {
+		var ok bool
+		hit, ok = mem.Lookup(e.DB, e.Question, tried...)
+		if !ok {
+			break
+		}
+		tried = append(tried, hit.PatternID)
+
+		stmt, _, err := sess.DB.Engine.PrepareCached(hit.SQL)
+		if err != nil {
+			// A stored pattern that no longer parses is poison: demote it
+			// and rerank.
+			mem.Failure(hit.PatternID)
+			continue
+		}
+		res, err = stmt.Exec()
+		if err != nil {
+			mem.Failure(hit.PatternID)
+			continue
+		}
+		// Verification is the accuracy floor: the fingerprint pins the
+		// result the pattern was admitted with, and the judge pins
+		// execution accuracy against gold (gold results are cached per
+		// example, so steady-state verification costs one extra engine
+		// execution, not two).
+		if qmemory.Fingerprint(res.Rows) != hit.Fingerprint ||
+			!s.judges[sess.Corpus].ScoreRows(sess.DB, e, res).Correct {
+			// A pattern failing a question it previously answered
+			// (similarity 1 is the exact-phrasing fast path) is poison:
+			// demote it. A semantic look-alike failing a NEW question is a
+			// retrieval error, not pattern damage — skip it for this
+			// request and leave its confidence (and its own questions)
+			// alone.
+			if hit.Similarity >= 1 {
+				mem.Failure(hit.PatternID)
+			}
+			continue
+		}
+		verified = true
+	}
+	span.SetAttr("hit", len(tried) > 0)
+	span.SetAttr("verified", verified)
+	if !verified {
+		return false, 0
+	}
+	span.SetAttr("pattern", hit.PatternID)
+	span.SetAttr("confidence", hit.Confidence)
+	span.SetAttr("similarity", hit.Similarity)
+	mem.Success(hit.PatternID, e.Question)
+
+	if root := obs.CurrentSpan(r.Context()); root != nil {
+		root.SetAttr("sql", hit.SQL)
+	}
+	resp := api.QueryResponse{
+		DB:               e.DB,
+		ExampleID:        e.ID,
+		Question:         e.Question,
+		Source:           api.SourceMemory,
+		MemoryConfidence: hit.Confidence,
+		Evidence:         hit.Evidence,
+		SQL:              hit.SQL,
+		Cost:             res.Cost,
+	}
+	// On the memory path lookup, verification and execution are one fused
+	// phase; the whole end-to-end cost lands in MemoryMicros.
+	resp.Timing.MemoryMicros = time.Since(start).Microseconds()
+	if res.Rows != nil {
+		resp.Columns = res.Rows.Columns
+		resp.RowCount = len(res.Rows.Data)
+		n := resp.RowCount
+		if req.MaxRows > 0 && req.MaxRows < n {
+			n = req.MaxRows
+			resp.Truncated = true
+		}
+		resp.Rows = renderRows(res.Rows, n)
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return true, time.Since(start)
 }
 
 // renderRows converts engine rows to JSON-shaped values: NULL becomes
@@ -587,13 +736,13 @@ func renderRows(rows *sqlengine.Rows, n int) [][]any {
 }
 
 func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
-	var req QueryRequest
+	var req api.QueryRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	sess, ok := s.reg.Session(req.DB)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q (GET /v1/dbs lists them)", req.DB))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown database %q (GET /v1/dbs lists them)", req.DB))
 		return
 	}
 	question := req.Question
@@ -603,7 +752,7 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if question == "" {
-		writeError(w, http.StatusBadRequest, "question (or a known id) is required")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "question (or a known id) is required")
 		return
 	}
 	start := time.Now()
@@ -615,7 +764,7 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 		writeUpstreamError(w, r, "evidence generation", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, EvidenceResponse{
+	writeJSON(w, http.StatusOK, api.EvidenceResponse{
 		DB:       req.DB,
 		Question: question,
 		Variant:  s.services[sess.Corpus].Stats().Variant,
@@ -626,18 +775,8 @@ func (s *Server) handleEvidence(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// DBInfo is one entry of the /v1/dbs listing.
-type DBInfo struct {
-	Name     string `json:"name"`
-	Corpus   string `json:"corpus"`
-	Tables   int    `json:"tables"`
-	Examples int    `json:"examples"`
-}
-
 func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
-	out := struct {
-		DBs []DBInfo `json:"dbs"`
-	}{DBs: make([]DBInfo, 0, len(s.reg.DBNames()))}
+	out := api.DBsResponse{DBs: make([]api.DBInfo, 0, len(s.reg.DBNames()))}
 	for _, name := range s.reg.DBNames() {
 		// Info serves the listing from static metadata so /v1/dbs never
 		// forces every session (and its retriever warm-up) to build.
@@ -647,23 +786,17 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// ExampleInfo is one entry of the /v1/examples listing.
-type ExampleInfo struct {
-	ID       string `json:"id"`
-	Question string `json:"question"`
-}
-
 func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
 	db := r.URL.Query().Get("db")
 	if db == "" {
-		writeError(w, http.StatusBadRequest, "db query parameter is required")
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, "db query parameter is required")
 		return
 	}
 	limit := 10
 	if v := r.URL.Query().Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			writeError(w, http.StatusBadRequest, api.CodeBadRequest, "limit must be a non-negative integer")
 			return
 		}
 		limit = n
@@ -672,17 +805,13 @@ func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
 	// never forces a session (and its retriever warm-up) to build.
 	examples, ok := s.reg.Examples(db, limit)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown database %q", db))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown database %q", db))
 		return
 	}
 	info, _ := s.reg.Info(db)
-	out := struct {
-		DB       string        `json:"db"`
-		Total    int           `json:"total"`
-		Examples []ExampleInfo `json:"examples"`
-	}{DB: db, Total: info.Examples, Examples: make([]ExampleInfo, len(examples))}
+	out := api.ExamplesResponse{DB: db, Total: info.Examples, Examples: make([]api.ExampleInfo, len(examples))}
 	for i, e := range examples {
-		out.Examples[i] = ExampleInfo{ID: e.ID, Question: e.Question}
+		out.Examples[i] = api.ExampleInfo{ID: e.ID, Question: e.Question}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -692,7 +821,7 @@ func (s *Server) handleExamples(w http.ResponseWriter, r *http.Request) {
 // corpus loaded the corpus parameter may be omitted.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	if len(s.stores) == 0 {
-		writeError(w, http.StatusNotFound, "replication requires a durable store (-store-dir)")
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "replication requires a durable store (-store-dir)")
 		return
 	}
 	corpus := r.URL.Query().Get("corpus")
@@ -703,10 +832,32 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 	}
 	store, ok := s.stores[corpus]
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown corpus %q", corpus))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown corpus %q", corpus))
 		return
 	}
 	store.ServeReplication(w, r)
+}
+
+// handleMemSync serves one corpus's query-memory patterns to a fleet
+// follower: GET /v1/memsync?corpus=<name>&gen=<gen>&since=<seq>. With
+// exactly one memory-enabled corpus the corpus parameter may be omitted.
+func (s *Server) handleMemSync(w http.ResponseWriter, r *http.Request) {
+	if len(s.memories) == 0 {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, "query memory is disabled on this replica")
+		return
+	}
+	corpus := r.URL.Query().Get("corpus")
+	if corpus == "" && len(s.memories) == 1 {
+		for name := range s.memories {
+			corpus = name
+		}
+	}
+	mem, ok := s.memories[corpus]
+	if !ok {
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Sprintf("unknown corpus %q", corpus))
+		return
+	}
+	mem.ServeSync(w, r)
 }
 
 // handleHealthz is the liveness/readiness split: a plain GET /healthz
@@ -757,6 +908,13 @@ type MetricsSnapshot struct {
 	// Replication holds one tailer snapshot per peer stream, keyed
 	// "corpus<-peerURL"; omitted outside a fleet (-peers unset).
 	Replication map[string]evstore.TailerStats `json:"replication,omitempty"`
+	// Memory holds the per-corpus query-memory counters (patterns,
+	// lookups, hits, demotions, confidence distribution); omitted when
+	// the server runs without -memory.
+	Memory map[string]qmemory.Stats `json:"memory,omitempty"`
+	// MemoryReplication holds one memory-sync tailer snapshot per peer
+	// stream, keyed "corpus<-peerURL"; omitted outside a fleet.
+	MemoryReplication map[string]qmemory.TailerStats `json:"memory_replication,omitempty"`
 	// Draining reports the shutdown drain state (see SetDraining).
 	Draining bool `json:"draining,omitempty"`
 }
@@ -838,6 +996,18 @@ func (s *Server) Metrics() MetricsSnapshot {
 			snap.Replication[rs.corpus+"<-"+rs.peer] = rs.tailer.Stats()
 		}
 	}
+	if len(s.memories) > 0 {
+		snap.Memory = make(map[string]qmemory.Stats, len(s.memories))
+		for name, mem := range s.memories {
+			snap.Memory[name] = mem.Stats()
+		}
+	}
+	if len(s.memTailers) > 0 {
+		snap.MemoryReplication = make(map[string]qmemory.TailerStats, len(s.memTailers))
+		for _, ms := range s.memTailers {
+			snap.MemoryReplication[ms.corpus+"<-"+ms.peer] = ms.tailer.Stats()
+		}
+	}
 	snap.Draining = s.draining.Load()
 	for name, corpus := range s.corpora {
 		var agg sqlengine.PlanCacheStats
@@ -871,34 +1041,34 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed request body: %v", err))
+		writeError(w, http.StatusBadRequest, api.CodeBadRequest, fmt.Sprintf("malformed request body: %v", err))
 		return false
 	}
 	return true
 }
 
 // writeUpstreamError maps evidence-path failures to HTTP statuses:
-// deadline/cancellation to 504/499-ish (504), service shutdown to 503,
-// anything else to 502.
+// service shutdown to 503, a client that went away to 499 (its
+// cancellation is not a server fault and must stay out of 5xx
+// accounting), a blown per-request deadline to 504, anything else to 502.
 func writeUpstreamError(w http.ResponseWriter, r *http.Request, op string, err error) {
+	ctxErr := r.Context().Err()
 	switch {
 	case errors.Is(err, evserve.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, op+" unavailable: server shutting down")
-	case r.Context().Err() != nil:
-		writeError(w, http.StatusGatewayTimeout, op+" deadline exceeded")
+		writeError(w, http.StatusServiceUnavailable, api.CodeUnavailable, op+" unavailable: server shutting down")
+	case errors.Is(ctxErr, context.Canceled):
+		writeError(w, api.StatusClientClosedRequest, api.CodeClientClosed, op+" abandoned: client closed request")
+	case ctxErr != nil:
+		writeError(w, http.StatusGatewayTimeout, api.CodeUpstreamTimeout, op+" deadline exceeded")
 	default:
-		writeError(w, http.StatusBadGateway, fmt.Sprintf("%s failed: %v", op, err))
+		writeError(w, http.StatusBadGateway, api.CodeUpstreamError, fmt.Sprintf("%s failed: %v", op, err))
 	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	api.WriteJSON(w, status, v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	api.WriteError(w, status, code, msg)
 }

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/llm"
@@ -95,7 +96,7 @@ func TestHealthzAndDBs(t *testing.T) {
 		t.Fatal(err)
 	}
 	var dbs struct {
-		DBs []DBInfo `json:"dbs"`
+		DBs []api.DBInfo `json:"dbs"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&dbs); err != nil {
 		t.Fatal(err)
@@ -114,11 +115,11 @@ func TestHealthzAndDBs(t *testing.T) {
 func TestQueryServesEvidenceSQLAndRows(t *testing.T) {
 	srv, ts := newTestServer(t, nil)
 	e := testCorpus(t).Dev[0]
-	resp, data := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, data := postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 200 {
 		t.Fatalf("query = %d: %s", resp.StatusCode, data)
 	}
-	var qr QueryResponse
+	var qr api.QueryResponse
 	if err := json.Unmarshal(data, &qr); err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestQueryServesEvidenceSQLAndRows(t *testing.T) {
 
 	// Question lookup is whitespace- and case-tolerant, and the example
 	// ID works as a direct key.
-	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: "  " + e.Question + "  "})
+	resp, _ = postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: "  " + e.Question + "  "})
 	if resp.StatusCode != 200 {
 		t.Errorf("whitespace-padded question = %d", resp.StatusCode)
 	}
-	resp, data = postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, ID: e.ID})
+	resp, data = postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, ID: e.ID})
 	if resp.StatusCode != 200 {
 		t.Errorf("lookup by id = %d: %s", resp.StatusCode, data)
 	}
@@ -153,11 +154,11 @@ func TestQueryErrorPaths(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	e := testCorpus(t).Dev[0]
 
-	resp, _ := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: "no_such_db", Question: e.Question})
+	resp, _ := postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: "no_such_db", Question: e.Question})
 	if resp.StatusCode != 404 {
 		t.Errorf("unknown db = %d, want 404", resp.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: "what is the airspeed velocity of an unladen swallow"})
+	resp, _ = postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: "what is the airspeed velocity of an unladen swallow"})
 	if resp.StatusCode != 404 {
 		t.Errorf("unknown question = %d, want 404", resp.StatusCode)
 	}
@@ -172,7 +173,7 @@ func TestQueryErrorPaths(t *testing.T) {
 	if r2.StatusCode != 400 {
 		t.Errorf("malformed body = %d, want 400", r2.StatusCode)
 	}
-	resp, _ = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB})
+	resp, _ = postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB})
 	if resp.StatusCode != 400 {
 		t.Errorf("evidence without question = %d, want 400", resp.StatusCode)
 	}
@@ -184,11 +185,11 @@ func TestRateLimitReturns429WithRetryAfter(t *testing.T) {
 		cfg.Burst = 1
 	})
 	e := testCorpus(t).Dev[0]
-	resp, data := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, data := postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 200 {
 		t.Fatalf("first request = %d: %s", resp.StatusCode, data)
 	}
-	resp, _ = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, _ = postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 429 {
 		t.Fatalf("second request = %d, want 429", resp.StatusCode)
 	}
@@ -216,7 +217,7 @@ func TestOverloadReturns503(t *testing.T) {
 	e := testCorpus(t).Dev[0]
 	first := make(chan int, 1)
 	go func() {
-		resp, _ := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+		resp, _ := postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 		first <- resp.StatusCode
 	}()
 	// Wait until the first request holds the only slot.
@@ -224,7 +225,7 @@ func TestOverloadReturns503(t *testing.T) {
 	for srv.adm.stats().Inflight == 0 && time.Now().Before(deadline) {
 		time.Sleep(2 * time.Millisecond)
 	}
-	resp, _ := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, _ := postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 503 {
 		t.Errorf("over-capacity request = %d, want 503", resp.StatusCode)
 	}
@@ -252,7 +253,7 @@ func TestMetricsSnapshot(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	e := testCorpus(t).Dev[0]
 	for i := 0; i < 3; i++ {
-		postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+		postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: e.Question})
 	}
 	resp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
@@ -304,7 +305,7 @@ func TestQueryGoldenEquivalence(t *testing.T) {
 	checked := 0
 	for i := 0; i < len(env.BIRD.Dev); i += 9 {
 		e := env.BIRD.Dev[i]
-		resp, data := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+		resp, data := postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: e.Question})
 
 		offlineEv, err := env.BIRDSeedEvidenceFor(context.Background(), seed.VariantGPT, e.DB, e.Question)
 		if err != nil {
@@ -331,7 +332,7 @@ func TestQueryGoldenEquivalence(t *testing.T) {
 			t.Errorf("%s: serving = %d (%s) but offline pipeline succeeded", e.ID, resp.StatusCode, data)
 			continue
 		}
-		var qr QueryResponse
+		var qr api.QueryResponse
 		if err := json.Unmarshal(data, &qr); err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
@@ -379,7 +380,7 @@ func TestBatchedServingBeatsSerialPipeline(t *testing.T) {
 	var payloads [][]byte
 	for i := 0; i < len(corpus.Dev); i += 2 {
 		e := corpus.Dev[i]
-		body, _ := json.Marshal(QueryRequest{DB: e.DB, Question: e.Question})
+		body, _ := json.Marshal(api.QueryRequest{DB: e.DB, Question: e.Question})
 		payloads = append(payloads, body)
 	}
 	ctx := context.Background()
@@ -460,13 +461,13 @@ func TestGeneratorForRejectsUnknown(t *testing.T) {
 func TestServerCloseIdempotentAndRejectsAfter(t *testing.T) {
 	srv, ts := newTestServer(t, nil)
 	e := testCorpus(t).Dev[0]
-	resp, data := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, data := postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 200 {
 		t.Fatalf("pre-close request = %d: %s", resp.StatusCode, data)
 	}
 	srv.Close()
 	srv.Close() // idempotent
-	resp, _ = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: fmt.Sprintf("%s (uncached)", e.Question)})
+	resp, _ = postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: fmt.Sprintf("%s (uncached)", e.Question)})
 	if resp.StatusCode != 503 {
 		t.Errorf("evidence after Close = %d, want 503", resp.StatusCode)
 	}
@@ -478,13 +479,13 @@ func TestServerCloseIdempotentAndRejectsAfter(t *testing.T) {
 func TestQueryExposesEvidenceTrace(t *testing.T) {
 	_, ts := newTestServer(t, nil)
 	ex := testCorpus(t).Dev[0]
-	body := QueryRequest{DB: ex.DB, Question: ex.Question}
+	body := api.QueryRequest{DB: ex.DB, Question: ex.Question}
 
 	resp, data := postJSON(t, ts.URL+"/v1/query", body)
 	if resp.StatusCode != 200 {
 		t.Fatalf("query = %d: %s", resp.StatusCode, data)
 	}
-	var qr QueryResponse
+	var qr api.QueryResponse
 	if err := json.Unmarshal(data, &qr); err != nil {
 		t.Fatal(err)
 	}
@@ -509,7 +510,7 @@ func TestQueryExposesEvidenceTrace(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("repeat query = %d", resp.StatusCode)
 	}
-	var warm QueryResponse
+	var warm api.QueryResponse
 	if err := json.Unmarshal(data, &warm); err != nil {
 		t.Fatal(err)
 	}
@@ -525,7 +526,7 @@ func TestQueryExposesEvidenceTrace(t *testing.T) {
 	if resp.StatusCode != 200 {
 		t.Fatalf("evidence = %d", resp.StatusCode)
 	}
-	var er EvidenceResponse
+	var er api.EvidenceResponse
 	if err := json.Unmarshal(data, &er); err != nil {
 		t.Fatal(err)
 	}
@@ -549,7 +550,7 @@ func TestMetricsExposeStagesAndBatcherOccupancy(t *testing.T) {
 		wg.Add(1)
 		go func(ex dataset.Example) {
 			defer wg.Done()
-			resp, data := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: ex.DB, Question: ex.Question})
+			resp, data := postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: ex.DB, Question: ex.Question})
 			if resp.StatusCode != 200 {
 				t.Errorf("query %s = %d: %s", ex.ID, resp.StatusCode, data)
 			}

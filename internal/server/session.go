@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/schema"
@@ -111,7 +112,7 @@ type registry struct {
 type sessionSlot struct {
 	// info and examples are static corpus data, servable without
 	// building the session (no retriever warm-up for listings).
-	info     DBInfo
+	info     api.DBInfo
 	examples []dataset.Example // dev then test, corpus order
 	once     sync.Once
 	build    func() *Session
@@ -141,7 +142,7 @@ func newRegistry(corpora []*dataset.Corpus, gens map[string]texttosql.Generator)
 			}
 			corpus, db, gen := corpus, db, gen
 			slot := &sessionSlot{
-				info: DBInfo{
+				info: api.DBInfo{
 					Name:     name,
 					Corpus:   corpus.Name,
 					Tables:   len(db.Engine.Tables()),
@@ -161,10 +162,10 @@ func newRegistry(corpora []*dataset.Corpus, gens map[string]texttosql.Generator)
 }
 
 // Info returns a database's static metadata without building its session.
-func (r *registry) Info(db string) (DBInfo, bool) {
+func (r *registry) Info(db string) (api.DBInfo, bool) {
 	slot, ok := r.slots[db]
 	if !ok {
-		return DBInfo{}, false
+		return api.DBInfo{}, false
 	}
 	return slot.info, true
 }

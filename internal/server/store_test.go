@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/dataset"
 	"repro/internal/llm"
 	"repro/internal/seed"
@@ -59,7 +60,7 @@ func TestServerWarmRestartServesFromStore(t *testing.T) {
 	_, ts, stop := newStoreServer(t, dir, llm.NewSimulator())
 	want := make(map[string]evResp, len(examples))
 	for _, e := range examples {
-		resp, body := postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+		resp, body := postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 		if resp.StatusCode != 200 {
 			t.Fatalf("first life /v1/evidence = %d: %s", resp.StatusCode, body)
 		}
@@ -75,7 +76,7 @@ func TestServerWarmRestartServesFromStore(t *testing.T) {
 	sim := llm.NewSimulator()
 	srv2, ts2, _ := newStoreServer(t, dir, sim)
 	for _, e := range examples {
-		resp, body := postJSON(t, ts2.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+		resp, body := postJSON(t, ts2.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 		if resp.StatusCode != 200 {
 			t.Fatalf("restarted /v1/evidence = %d: %s", resp.StatusCode, body)
 		}
@@ -136,11 +137,11 @@ func TestStoreSharedAcrossQueryAndEvidenceRoutes(t *testing.T) {
 	e := testCorpus(t).Dev[0]
 
 	srv, ts, _ := newStoreServer(t, dir, llm.NewSimulator())
-	resp, body := postJSON(t, ts.URL+"/v1/query", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, body := postJSON(t, ts.URL+"/v1/query", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 200 {
 		t.Fatalf("/v1/query = %d: %s", resp.StatusCode, body)
 	}
-	var q QueryResponse
+	var q api.QueryResponse
 	if err := json.Unmarshal(body, &q); err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestStoreSharedAcrossQueryAndEvidenceRoutes(t *testing.T) {
 		t.Fatalf("store saw no appends: %+v", st)
 	}
 	// The same entry then serves /v1/evidence as a hit.
-	resp, body = postJSON(t, ts.URL+"/v1/evidence", QueryRequest{DB: e.DB, Question: e.Question})
+	resp, body = postJSON(t, ts.URL+"/v1/evidence", api.QueryRequest{DB: e.DB, Question: e.Question})
 	if resp.StatusCode != 200 {
 		t.Fatalf("/v1/evidence = %d: %s", resp.StatusCode, body)
 	}

@@ -16,6 +16,10 @@ import (
 type Query struct {
 	Question string
 	SQL      string
+	// Paraphrases are alternative phrasings of Question with the same
+	// intent and the same literals — the workload the query-memory
+	// benchmark replays to measure semantic (not string-equal) matching.
+	Paraphrases []string
 }
 
 // Workload synthesizes n question/SQL pairs over the database's generated
@@ -87,6 +91,29 @@ func ToExamples(dbName string, qs []Query) ([]dataset.Example, error) {
 			return nil, err
 		}
 		out[i] = e
+	}
+	return out, nil
+}
+
+// ParaphraseExamples flattens each query's paraphrases into their own
+// dataset examples — same gold SQL, IDs suffixed -pN — so a serving
+// corpus can expose the paraphrased workload the query memory is
+// benchmarked on.
+func ParaphraseExamples(dbName string, qs []Query) ([]dataset.Example, error) {
+	var out []dataset.Example
+	for i, q := range qs {
+		for j, ph := range q.Paraphrases {
+			e := dataset.Example{
+				ID:          fmt.Sprintf("%s-synth-%04d-p%d", dbName, i, j),
+				DB:          dbName,
+				Question:    ph,
+				SQLTemplate: q.SQL,
+			}
+			if err := e.Finalize(); err != nil {
+				return nil, err
+			}
+			out = append(out, e)
+		}
 	}
 	return out, nil
 }
@@ -166,9 +193,15 @@ func countEqQuery(db *schema.DB, t *sqlengine.Table, rng *llm.Rand) (Query, bool
 		return Query{}, false
 	}
 	col := t.Columns[ci].Name
+	full, lit := fullName(db, t.Name, col), sqlLiteral(v)
 	return Query{
-		Question: fmt.Sprintf("How many rows in %s have %s equal to %s?", t.Name, fullName(db, t.Name, col), sqlLiteral(v)),
-		SQL:      fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = %s", t.Name, col, sqlLiteral(v)),
+		Question: fmt.Sprintf("How many rows in %s have %s equal to %s?", t.Name, full, lit),
+		SQL:      fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s = %s", t.Name, col, lit),
+		Paraphrases: []string{
+			fmt.Sprintf("Count the rows in %s where %s is %s.", t.Name, full, lit),
+			fmt.Sprintf("In %s, how many rows have a %s of %s?", t.Name, full, lit),
+			fmt.Sprintf("What is the number of %s rows whose %s equals %s?", t.Name, full, lit),
+		},
 	}, true
 }
 
@@ -183,10 +216,14 @@ func sumWhereQuery(db *schema.DB, t *sqlengine.Table, rng *llm.Rand) (Query, boo
 		return Query{}, false
 	}
 	num, txt := t.Columns[ni].Name, t.Columns[ti].Name
+	fnum, ftxt, lit := fullName(db, t.Name, num), fullName(db, t.Name, txt), sqlLiteral(v)
 	return Query{
-		Question: fmt.Sprintf("What is the total %s of %s rows whose %s is %s?",
-			fullName(db, t.Name, num), t.Name, fullName(db, t.Name, txt), sqlLiteral(v)),
-		SQL: fmt.Sprintf("SELECT SUM(%s) FROM %s WHERE %s = %s", num, t.Name, txt, sqlLiteral(v)),
+		Question: fmt.Sprintf("What is the total %s of %s rows whose %s is %s?", fnum, t.Name, ftxt, lit),
+		SQL:      fmt.Sprintf("SELECT SUM(%s) FROM %s WHERE %s = %s", num, t.Name, txt, lit),
+		Paraphrases: []string{
+			fmt.Sprintf("Sum the %s over %s rows where %s equals %s.", fnum, t.Name, ftxt, lit),
+			fmt.Sprintf("Across %s rows whose %s is %s, what do the %s values add up to?", t.Name, ftxt, lit, fnum),
+		},
 	}, true
 }
 
@@ -196,9 +233,14 @@ func avgQuery(db *schema.DB, t *sqlengine.Table, rng *llm.Rand) (Query, bool) {
 		return Query{}, false
 	}
 	num := t.Columns[ni].Name
+	fnum := fullName(db, t.Name, num)
 	return Query{
-		Question: fmt.Sprintf("What is the average %s across all %s rows?", fullName(db, t.Name, num), t.Name),
+		Question: fmt.Sprintf("What is the average %s across all %s rows?", fnum, t.Name),
 		SQL:      fmt.Sprintf("SELECT AVG(%s) FROM %s", num, t.Name),
+		Paraphrases: []string{
+			fmt.Sprintf("What is the mean %s over the whole %s table?", fnum, t.Name),
+			fmt.Sprintf("Compute the average value of %s for all rows of %s.", fnum, t.Name),
+		},
 	}, true
 }
 
@@ -212,9 +254,14 @@ func rangeCountQuery(db *schema.DB, t *sqlengine.Table, rng *llm.Rand) (Query, b
 		return Query{}, false
 	}
 	num := t.Columns[ni].Name
+	fnum, lit := fullName(db, t.Name, num), sqlLiteral(v)
 	return Query{
-		Question: fmt.Sprintf("How many %s rows have %s greater than %s?", t.Name, fullName(db, t.Name, num), sqlLiteral(v)),
-		SQL:      fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s > %s", t.Name, num, sqlLiteral(v)),
+		Question: fmt.Sprintf("How many %s rows have %s greater than %s?", t.Name, fnum, lit),
+		SQL:      fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s > %s", t.Name, num, lit),
+		Paraphrases: []string{
+			fmt.Sprintf("Count %s rows where %s exceeds %s.", t.Name, fnum, lit),
+			fmt.Sprintf("How many rows of %s have a %s above %s?", t.Name, fnum, lit),
+		},
 	}, true
 }
 
@@ -251,11 +298,16 @@ func joinCountQuery(db *schema.DB, t *sqlengine.Table, rng *llm.Rand) (Query, bo
 		return Query{}, false
 	}
 	pcol := parent.Columns[pi].Name
+	fp, lit := fullName(db, parent.Name, pcol), sqlLiteral(v)
 	return Query{
 		Question: fmt.Sprintf("How many %s rows belong to a %s whose %s is %s?",
-			t.Name, parent.Name, fullName(db, parent.Name, pcol), sqlLiteral(v)),
+			t.Name, parent.Name, fp, lit),
 		SQL: fmt.Sprintf("SELECT COUNT(*) FROM %s JOIN %s ON %s.%s = %s.%s WHERE %s.%s = %s",
-			t.Name, parent.Name, t.Name, fk.Column, parent.Name, fk.ParentColumn, parent.Name, pcol, sqlLiteral(v)),
+			t.Name, parent.Name, t.Name, fk.Column, parent.Name, fk.ParentColumn, parent.Name, pcol, lit),
+		Paraphrases: []string{
+			fmt.Sprintf("Count the %s rows joined to a %s with %s equal to %s.", t.Name, parent.Name, fp, lit),
+			fmt.Sprintf("For the %s whose %s is %s, how many %s rows are attached?", parent.Name, fp, lit, t.Name),
+		},
 	}, true
 }
 
@@ -273,9 +325,14 @@ func topKQuery(db *schema.DB, t *sqlengine.Table, rng *llm.Rand) (Query, bool) {
 	}
 	k := 3 + rng.Intn(8)
 	num := t.Columns[ni].Name
+	fnum := fullName(db, t.Name, num)
 	return Query{
-		Question: fmt.Sprintf("Which %d %s rows have the highest %s?", k, t.Name, fullName(db, t.Name, num)),
+		Question: fmt.Sprintf("Which %d %s rows have the highest %s?", k, t.Name, fnum),
 		SQL: fmt.Sprintf("SELECT %s FROM %s ORDER BY %s DESC, %s LIMIT %d",
 			pk, t.Name, num, pk, k),
+		Paraphrases: []string{
+			fmt.Sprintf("List the top %d %s rows by %s.", k, t.Name, fnum),
+			fmt.Sprintf("Which %d rows of %s rank highest on %s?", k, t.Name, fnum),
+		},
 	}, true
 }
